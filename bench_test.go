@@ -1,0 +1,225 @@
+package abc
+
+// The benchmark harness regenerates the paper's entire evaluation: one
+// benchmark per figure/theorem experiment (E1–E14, mirrored in
+// EXPERIMENTS.md and cmd/abcbench), plus performance benchmarks for the
+// substrate: checker scaling, exact critical-ratio search, simulator
+// throughput, and clock synchronization across system sizes. Run with
+//
+//	go test -bench=. -benchmem
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/causality"
+	"repro/internal/check"
+	"repro/internal/clocksync"
+	"repro/internal/cycles"
+	"repro/internal/experiments"
+	"repro/internal/rat"
+	"repro/internal/scenario"
+	"repro/internal/sim"
+)
+
+// benchExperiment runs one paper experiment per iteration and fails the
+// benchmark if any claim stops reproducing.
+func benchExperiment(b *testing.B, exp func() (experiments.Result, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		res, err := exp()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Failed() {
+			for _, r := range res.Rows {
+				if !r.OK {
+					b.Fatalf("%s/%s: paper %q, measured %q", res.ID, r.Name, r.Paper, r.Measured)
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkE01_Fig1RelevantCycle(b *testing.B)   { benchExperiment(b, experiments.E01Fig1) }
+func BenchmarkE02_Fig2CycleAddition(b *testing.B)   { benchExperiment(b, experiments.E02Fig2) }
+func BenchmarkE03_Fig3Timeout(b *testing.B)         { benchExperiment(b, experiments.E03Fig3) }
+func BenchmarkE04_Fig4NonRelevant(b *testing.B)     { benchExperiment(b, experiments.E04Fig4) }
+func BenchmarkE05_Fig5CausalCone(b *testing.B)      { benchExperiment(b, experiments.E05Fig5) }
+func BenchmarkE06_Fig67LinearSystem(b *testing.B)   { benchExperiment(b, experiments.E06Fig67) }
+func BenchmarkE07_Fig8ParSyncGame(b *testing.B)     { benchExperiment(b, experiments.E07Fig8) }
+func BenchmarkE08_Fig9MultiHop(b *testing.B)        { benchExperiment(b, experiments.E08Fig9) }
+func BenchmarkE09_Fig10FIFO(b *testing.B)           { benchExperiment(b, experiments.E09Fig10) }
+func BenchmarkE10_ClockSync(b *testing.B)           { benchExperiment(b, experiments.E10ClockSync) }
+func BenchmarkE11_LockStep(b *testing.B)            { benchExperiment(b, experiments.E11LockStep) }
+func BenchmarkE12_ModelIndist(b *testing.B)         { benchExperiment(b, experiments.E12ModelIndist) }
+func BenchmarkE13_Variants(b *testing.B)            { benchExperiment(b, experiments.E13Variants) }
+func BenchmarkE14_Consensus(b *testing.B)           { benchExperiment(b, experiments.E14Consensus) }
+func BenchmarkE15_VLSIClockGeneration(b *testing.B) { benchExperiment(b, experiments.RunVLSI) }
+
+// ---------------------------------------------------------------------------
+// Substrate performance benchmarks.
+
+// benchGraph produces a reproducible execution graph with roughly the
+// requested number of events.
+func benchGraph(b *testing.B, n, steps int) *causality.Graph {
+	b.Helper()
+	res, err := sim.Run(sim.Config{
+		N: n,
+		Spawn: func(p sim.ProcessID) sim.Process {
+			return sim.ProcessFunc(func(env *sim.Env, msg sim.Message) {
+				if env.StepIndex() < steps {
+					env.Broadcast(env.StepIndex())
+				}
+			})
+		},
+		Delays:    sim.UniformDelay{Min: rat.One, Max: rat.New(3, 2)},
+		Seed:      1,
+		MaxEvents: 1 << 20,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return causality.Build(res.Trace, causality.Options{})
+}
+
+// BenchmarkChecker measures the Bellman–Ford admissibility check across
+// graph sizes (the paper's Definition 4 made O(V·E)).
+func BenchmarkChecker(b *testing.B) {
+	for _, size := range []struct{ n, steps int }{{4, 10}, {6, 20}, {8, 40}} {
+		g := benchGraph(b, size.n, size.steps)
+		name := fmt.Sprintf("nodes=%d/edges=%d", g.NumNodes(), g.NumEdges())
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := check.ABC(g, rat.FromInt(2)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMaxRelevantRatio measures the exact Stern–Brocot critical-ratio
+// search.
+func BenchmarkMaxRelevantRatio(b *testing.B) {
+	g := benchGraph(b, 5, 15)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := check.MaxRelevantRatio(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExhaustiveVsBF is the ablation for DESIGN.md decision #1:
+// enumerating cycles (Definition 4 verbatim) against the
+// difference-constraint checker on the same small graph.
+func BenchmarkExhaustiveVsBF(b *testing.B) {
+	g := scenario.BuildFig3().Graph
+	b.Run("exhaustive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := check.Exhaustive(g, rat.FromInt(2), 100000); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("bellmanford", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := check.ABC(g, rat.FromInt(2)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkCycleEnumeration measures raw cycle enumeration.
+func BenchmarkCycleEnumeration(b *testing.B) {
+	g := benchGraph(b, 4, 6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cycles.Enumerate(g, 1<<20)
+	}
+}
+
+// BenchmarkSimulator measures event throughput of the discrete-event core.
+func BenchmarkSimulator(b *testing.B) {
+	cfg := sim.Config{
+		N: 8,
+		Spawn: func(p sim.ProcessID) sim.Process {
+			return sim.ProcessFunc(func(env *sim.Env, msg sim.Message) {
+				if env.StepIndex() < 50 {
+					env.Broadcast(env.StepIndex())
+				}
+			})
+		},
+		Delays:    sim.UniformDelay{Min: rat.One, Max: rat.New(3, 2)},
+		Seed:      1,
+		MaxEvents: 1 << 20,
+	}
+	// One run to count events for the metric.
+	warm, err := sim.Run(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	events := len(warm.Trace.Events)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(events), "events/run")
+}
+
+// BenchmarkClockSyncScale measures Algorithm 1 runs across system sizes
+// (message complexity grows with n²·ticks; see EXPERIMENTS.md).
+func BenchmarkClockSyncScale(b *testing.B) {
+	for _, n := range []int{4, 7, 10, 13} {
+		f := (n - 1) / 3
+		b.Run(fmt.Sprintf("n=%d/f=%d", n, f), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := sim.Run(sim.Config{
+					N:         n,
+					Spawn:     clocksync.Spawner(n, f),
+					Delays:    sim.UniformDelay{Min: rat.One, Max: rat.New(3, 2)},
+					Seed:      int64(i),
+					Until:     clocksync.AllReached(10, nil),
+					MaxEvents: 500000,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Truncated {
+					b.Fatal("truncated")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkGraphBuild measures execution-graph construction.
+func BenchmarkGraphBuild(b *testing.B) {
+	res, err := sim.Run(sim.Config{
+		N: 6,
+		Spawn: func(p sim.ProcessID) sim.Process {
+			return sim.ProcessFunc(func(env *sim.Env, msg sim.Message) {
+				if env.StepIndex() < 30 {
+					env.Broadcast(env.StepIndex())
+				}
+			})
+		},
+		Delays:    sim.UniformDelay{Min: rat.One, Max: rat.New(3, 2)},
+		Seed:      1,
+		MaxEvents: 1 << 20,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		causality.Build(res.Trace, causality.Options{})
+	}
+}
+
+// BenchmarkE16_RelatedModels regenerates the Section 5.2 MCM/MMR
+// comparison.
+func BenchmarkE16_RelatedModels(b *testing.B) { benchExperiment(b, experiments.RunRelated) }

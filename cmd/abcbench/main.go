@@ -1,0 +1,53 @@
+// Command abcbench regenerates the paper's evaluation: it runs every
+// experiment E1–E14 (plus the supplementary VLSI experiment) and prints a
+// claim-vs-measured table per figure/theorem, exiting non-zero if any
+// claim fails to reproduce. EXPERIMENTS.md is the recorded output of this
+// command.
+//
+// Usage:
+//
+//	abcbench [-only E7]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	only := flag.String("only", "", "run only the experiment with this ID (e.g. E7)")
+	flag.Parse()
+
+	all := experiments.All()
+	all = append(all, experiments.RunVLSI, experiments.RunRelated)
+
+	failed := 0
+	for _, exp := range all {
+		res, err := exp()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: error: %v\n", res.ID, err)
+			failed++
+			continue
+		}
+		if *only != "" && res.ID != *only {
+			continue
+		}
+		fmt.Printf("=== %s: %s\n", res.ID, res.Title)
+		for _, r := range res.Rows {
+			status := "ok"
+			if !r.OK {
+				status = "FAIL"
+				failed++
+			}
+			fmt.Printf("  [%-4s] %-28s paper: %-55s measured: %s\n", status, r.Name, r.Paper, r.Measured)
+		}
+		fmt.Println()
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "%d experiment rows failed\n", failed)
+		os.Exit(1)
+	}
+}

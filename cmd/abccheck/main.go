@@ -1,0 +1,109 @@
+// Command abccheck verifies a recorded trace (JSON, as written by
+// cmd/abcsim) against the synchrony conditions of the models implemented
+// in this repository: the ABC condition for a given Ξ, the static and
+// dynamic Θ-Model conditions, and ParSync(Φ, Δ). It exits non-zero when
+// the requested ABC check fails.
+//
+// Usage:
+//
+//	abccheck -xi 2 [-theta 3] [-phi 10 -delta 10] trace.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/causality"
+	"repro/internal/check"
+	"repro/internal/parsync"
+	"repro/internal/rat"
+	"repro/internal/sim"
+	"repro/internal/theta"
+	"repro/internal/variants"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "abccheck:", err)
+		os.Exit(2)
+	}
+}
+
+func run() error {
+	var (
+		xiStr    = flag.String("xi", "2", "ABC parameter Ξ (rational)")
+		thetaStr = flag.String("theta", "", "also check the Θ-Model for this Θ")
+		phi      = flag.Int("phi", 0, "also check ParSync with this Φ (needs -delta)")
+		delta    = flag.Int("delta", 0, "ParSync Δ")
+		gst      = flag.Bool("gst", false, "also locate the ◇ABC stabilization index")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		return fmt.Errorf("usage: abccheck [flags] trace.json")
+	}
+
+	file, err := os.Open(flag.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer file.Close()
+	tr, err := sim.ReadJSON(file)
+	if err != nil {
+		return err
+	}
+	xi, err := rat.Parse(*xiStr)
+	if err != nil {
+		return err
+	}
+
+	g := causality.Build(tr, causality.Options{})
+	fmt.Printf("trace: %d processes, %d events, %d messages, %d graph nodes\n",
+		tr.N, len(tr.Events), len(tr.Msgs), g.NumNodes())
+
+	v, err := check.ABC(g, xi)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("ABC(Ξ=%v): admissible=%v\n", xi, v.Admissible)
+	if !v.Admissible {
+		fmt.Printf("  violating relevant cycle (|Z−|/|Z+| = %v):\n  %v\n",
+			v.WitnessClass.Ratio(), *v.Witness)
+	} else if ratio, found, err := check.MaxRelevantRatio(g); err == nil && found {
+		fmt.Printf("  critical ratio: %v\n", ratio)
+	}
+
+	if *thetaStr != "" {
+		th, err := rat.Parse(*thetaStr)
+		if err != nil {
+			return err
+		}
+		st := theta.CheckStatic(tr, th)
+		dy := theta.CheckDynamic(tr, th)
+		fmt.Printf("Θ-Model(Θ=%v): static=%v dynamic=%v", th, st.Admissible, dy.Admissible)
+		if !st.Admissible {
+			fmt.Printf(" (static: %s)", st.Reason)
+		}
+		fmt.Println()
+	}
+	if *phi > 0 {
+		rep := parsync.Check(tr, *phi, *delta)
+		fmt.Printf("ParSync(Φ=%d, Δ=%d): admissible=%v", *phi, *delta, rep.Admissible)
+		if !rep.Admissible {
+			fmt.Printf(" (%s)", rep.Reason)
+		}
+		fmt.Println()
+	}
+	if *gst {
+		idx, ok, err := variants.FindGST(tr, xi)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("◇ABC: stabilization at event index %d (ok=%v)\n", idx, ok)
+	}
+
+	if !v.Admissible {
+		os.Exit(1)
+	}
+	return nil
+}

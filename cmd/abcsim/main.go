@@ -1,0 +1,165 @@
+// Command abcsim runs ABC-model simulations and inspects their execution
+// graphs. It can run the built-in workloads (Byzantine clock
+// synchronization, lock-step rounds, all-to-all broadcast), report
+// admissibility and the exact critical ratio, export the trace as JSON for
+// cmd/abccheck, and render the space–time diagram as Graphviz DOT.
+//
+// Usage:
+//
+//	abcsim -workload clocksync -n 4 -f 1 -xi 2 -target 10 -seed 1 \
+//	       -trace trace.json -dot graph.dot
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/causality"
+	"repro/internal/check"
+	"repro/internal/clocksync"
+	"repro/internal/core"
+	"repro/internal/graphutil"
+	"repro/internal/lockstep"
+	"repro/internal/rat"
+	"repro/internal/sim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "abcsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		workload = flag.String("workload", "clocksync", "clocksync | lockstep | broadcast")
+		n        = flag.Int("n", 4, "number of processes")
+		f        = flag.Int("f", 1, "Byzantine fault bound (clocksync/lockstep)")
+		xiStr    = flag.String("xi", "2", "model parameter Ξ (rational, e.g. 3/2)")
+		target   = flag.Int("target", 10, "target clock value / round / steps")
+		seed     = flag.Int64("seed", 1, "random seed")
+		minD     = flag.String("min", "1", "minimum message delay")
+		maxD     = flag.String("max", "3/2", "maximum message delay")
+		traceOut = flag.String("trace", "", "write trace JSON to this file")
+		dotOut   = flag.String("dot", "", "write execution graph DOT to this file")
+	)
+	flag.Parse()
+
+	xi, err := rat.Parse(*xiStr)
+	if err != nil {
+		return err
+	}
+	model, err := core.NewModel(xi)
+	if err != nil {
+		return err
+	}
+	min, err := rat.Parse(*minD)
+	if err != nil {
+		return err
+	}
+	max, err := rat.Parse(*maxD)
+	if err != nil {
+		return err
+	}
+
+	cfg := sim.Config{
+		N:      *n,
+		Delays: sim.UniformDelay{Min: min, Max: max},
+		Seed:   *seed,
+	}
+	switch *workload {
+	case "clocksync":
+		cfg.Spawn = clocksync.Spawner(*n, *f)
+		cfg.Until = clocksync.AllReached(*target, nil)
+	case "lockstep":
+		cfg.Spawn = lockstep.Spawner(model, *n, *f, func(sim.ProcessID) lockstep.App {
+			return noopApp{}
+		})
+		cfg.Until = lockstep.AllReachedRound(*target, nil)
+	case "broadcast":
+		steps := *target
+		cfg.Spawn = func(sim.ProcessID) sim.Process {
+			return sim.ProcessFunc(func(env *sim.Env, msg sim.Message) {
+				if env.StepIndex() < steps {
+					env.Broadcast(env.StepIndex())
+				}
+			})
+		}
+	default:
+		return fmt.Errorf("unknown workload %q", *workload)
+	}
+
+	res, err := sim.Run(cfg)
+	if err != nil {
+		return err
+	}
+	tr := res.Trace
+	g := causality.Build(tr, causality.Options{})
+	fmt.Printf("workload=%s n=%d seed=%d: %d events, %d messages, %d graph nodes\n",
+		*workload, *n, *seed, len(tr.Events), len(tr.Msgs), g.NumNodes())
+	if res.Truncated {
+		fmt.Println("note: run truncated by event/time budget")
+	}
+
+	v, err := check.ABC(g, xi)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("ABC(Ξ=%v) admissible: %v\n", xi, v.Admissible)
+	if !v.Admissible {
+		fmt.Printf("violating relevant cycle (ratio %v): %v\n", v.WitnessClass.Ratio(), *v.Witness)
+	}
+	ratio, found, err := check.MaxRelevantRatio(g)
+	if err != nil {
+		return err
+	}
+	if found {
+		fmt.Printf("critical ratio: %v (admissible for every Ξ > %v)\n", ratio, ratio)
+	} else {
+		fmt.Println("critical ratio: none (admissible for every Ξ > 1)")
+	}
+
+	if *traceOut != "" {
+		w, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		defer w.Close()
+		if err := tr.WriteJSON(w); err != nil {
+			return err
+		}
+		fmt.Printf("trace written to %s\n", *traceOut)
+	}
+	if *dotOut != "" {
+		w, err := os.Create(*dotOut)
+		if err != nil {
+			return err
+		}
+		defer w.Close()
+		d := g.Digraph()
+		err = d.WriteDOT(w, graphutil.DOTOptions{
+			Name: "execution",
+			NodeLabel: func(v int) string {
+				return g.Node(causality.NodeID(v)).String()
+			},
+			EdgeAttr: func(i int, e graphutil.Edge) string {
+				if g.Edge(causality.EdgeID(e.Label)).Kind == causality.Local {
+					return "style=dashed"
+				}
+				return ""
+			},
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("DOT written to %s\n", *dotOut)
+	}
+	return nil
+}
+
+type noopApp struct{}
+
+func (noopApp) Init(self sim.ProcessID, n int) any { return int(self) }
+func (noopApp) Round(r int, received []any) any    { return r }

@@ -1,0 +1,101 @@
+package abc_test
+
+import (
+	"fmt"
+
+	abc "repro"
+)
+
+// ExampleCheck demonstrates admissibility checking on a hand-built
+// execution: the Fig. 3 scenario, where a slow reply closes a relevant
+// cycle with ratio 4/2 = 2, violating Ξ = 2 but not Ξ = 3.
+func ExampleCheck() {
+	b := abc.NewTraceBuilder(3)
+	b.WakeAll(abc.RatInt(0))
+	b.MsgAt(0, 0, 1, 1, "ping1")
+	b.MsgAt(0, 0, 2, 1, "query")
+	b.MsgAt(1, 1, 0, 2, "pong1")
+	b.MsgAt(0, 1, 1, 3, "ping2")
+	b.MsgAt(1, 2, 0, 4, "pong2")
+	b.MsgAt(2, 1, 0, 6, "late reply")
+	trace, err := b.Build()
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	g := abc.BuildGraph(trace)
+
+	for _, xi := range []abc.Rat{abc.RatInt(2), abc.RatInt(3)} {
+		v, err := abc.Check(g, xi)
+		if err != nil {
+			fmt.Println(err)
+			return
+		}
+		if v.Admissible {
+			fmt.Printf("Ξ=%v: admissible\n", xi)
+		} else {
+			fmt.Printf("Ξ=%v: violated by a relevant cycle with ratio %v\n",
+				xi, v.WitnessClass.Ratio())
+		}
+	}
+	// Output:
+	// Ξ=2: violated by a relevant cycle with ratio 2
+	// Ξ=3: admissible
+}
+
+// ExampleMaxRelevantRatio computes the exact critical ratio of an
+// execution — the threshold above which every Ξ is admissible.
+func ExampleMaxRelevantRatio() {
+	// A 1-message chain spanning a 2-message chain: ratio 2/1.
+	b := abc.NewTraceBuilder(3)
+	b.WakeAll(abc.RatInt(0))
+	b.MsgAt(0, 0, 1, 1, "fast hop 1")  // q -> a
+	b.MsgAt(1, 1, 2, 2, "fast hop 2")  // a -> p
+	b.MsgAt(0, 0, 2, 5, "slow direct") // q -> p, spans the chain
+	trace, _ := b.Build()
+
+	ratio, found, err := abc.MaxRelevantRatio(abc.BuildGraph(trace))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(found, ratio)
+	// Output:
+	// true 2
+}
+
+// ExampleModel_RunVerified runs Byzantine clock synchronization and
+// verifies both the model admissibility and the paper's precision bound.
+func ExampleModel_RunVerified() {
+	model := abc.MustModel(abc.RatInt(2))
+	res, _, verdict, err := model.RunVerified(abc.Config{
+		N:      4,
+		Spawn:  abc.ClockSyncSpawner(4, 1),
+		Delays: abc.UniformDelay{Min: abc.RatInt(1), Max: abc.NewRat(3, 2)},
+		Seed:   1,
+		Until:  abc.ClocksReached(10, nil),
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("admissible:", verdict.Admissible)
+	fmt.Println("precision within ⌈2Ξ⌉:",
+		abc.CheckRealTimePrecision(res.Trace, model.PrecisionBound()) == nil)
+	// Output:
+	// admissible: true
+	// precision within ⌈2Ξ⌉: true
+}
+
+// ExampleTimeoutChainLen shows the Fig. 3 timeout parameter for several Ξ.
+func ExampleTimeoutChainLen() {
+	for _, s := range []string{"3/2", "2", "5/2", "4"} {
+		xi := abc.MustRat(s)
+		fmt.Printf("Ξ=%v: chain of %d messages\n", xi, abc.TimeoutChainLen(xi))
+	}
+	// Output:
+	// Ξ=3/2: chain of 3 messages
+	// Ξ=2: chain of 4 messages
+	// Ξ=5/2: chain of 5 messages
+	// Ξ=4: chain of 8 messages
+}

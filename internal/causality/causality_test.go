@@ -1,0 +1,340 @@
+package causality
+
+import (
+	"testing"
+
+	"repro/internal/rat"
+	"repro/internal/sim"
+)
+
+// chainTrace builds a 3-process trace:
+//
+//	p0: w0 ──m1──> p1: e1 ──m2──> p2: e2
+//	p0: w0 ──m3────────────────────> p2: e3
+func chainTrace(t *testing.T) *sim.Trace {
+	t.Helper()
+	b := sim.NewTraceBuilder(3)
+	b.WakeAll(rat.Zero)
+	b.MsgAt(0, 0, 1, 1, "m1")
+	b.MsgAt(1, 1, 2, 2, "m2")
+	b.MsgAt(0, 0, 2, 3, "m3")
+	tr, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestBuildBasic(t *testing.T) {
+	g := Build(chainTrace(t), Options{})
+	if g.NumNodes() != 6 {
+		t.Fatalf("got %d nodes, want 6 (3 wake-ups + 3 receives)", g.NumNodes())
+	}
+	locals, msgs := 0, 0
+	for _, e := range g.Edges() {
+		switch e.Kind {
+		case Local:
+			locals++
+		case Message:
+			msgs++
+		}
+	}
+	// Local: p1 has 2 events (1 edge), p2 has 3 events (2 edges).
+	if locals != 3 {
+		t.Errorf("got %d local edges, want 3", locals)
+	}
+	if msgs != 3 {
+		t.Errorf("got %d message edges, want 3", msgs)
+	}
+	if g.MessageCount() != 3 {
+		t.Errorf("MessageCount = %d, want 3", g.MessageCount())
+	}
+	// The graph is a DAG.
+	if !g.Digraph().IsDAG() {
+		t.Error("execution graph is not a DAG")
+	}
+}
+
+func TestEdgeKindString(t *testing.T) {
+	if Local.String() != "local" || Message.String() != "message" {
+		t.Error("EdgeKind String wrong")
+	}
+	if EdgeKind(9).String() != "EdgeKind(9)" {
+		t.Error("unknown EdgeKind String wrong")
+	}
+}
+
+func TestHappensBefore(t *testing.T) {
+	tr := chainTrace(t)
+	g := Build(tr, Options{})
+	w0 := g.NodesOf(0)[0]
+	e1 := g.NodesOf(1)[1]
+	e2 := g.NodesOf(2)[1]
+	w2 := g.NodesOf(2)[0]
+
+	tests := []struct {
+		a, b NodeID
+		want bool
+	}{
+		{w0, e1, true},
+		{w0, e2, true},
+		{e1, e2, true},
+		{e2, e1, false},
+		{e1, w0, false},
+		{w2, e2, true}, // local order
+		{e1, e1, true}, // reflexive
+	}
+	for _, tt := range tests {
+		if got := g.HappensBefore(tt.a, tt.b); got != tt.want {
+			t.Errorf("HappensBefore(%v, %v) = %v, want %v", g.Node(tt.a), g.Node(tt.b), got, tt.want)
+		}
+	}
+}
+
+func TestFaultyMessageDropping(t *testing.T) {
+	// p1 is faulty: m1 (p0->p1) keeps its message edge (correct sender);
+	// m2 (p1->p2) loses its message edge. All receive events remain as
+	// nodes (see the package comment: node-preserving dropping is
+	// equivalent for all cycle purposes).
+	b := sim.NewTraceBuilder(3)
+	b.SetFaulty(1)
+	b.WakeAll(rat.Zero)
+	b.MsgAt(0, 0, 1, 1, "m1")
+	b.MsgAt(1, 1, 2, 2, "m2")
+	tr := b.MustBuild()
+	g := Build(tr, Options{})
+
+	if g.NumNodes() != 5 {
+		t.Fatalf("got %d nodes, want 5 (all receive events)", g.NumNodes())
+	}
+	if g.MessageCount() != 1 {
+		t.Errorf("got %d message edges, want 1 (only m1)", g.MessageCount())
+	}
+	// m2's receive event exists but has no incoming message edge.
+	recv := g.NodesOf(2)[1]
+	for _, eid := range g.In(recv) {
+		if g.Edge(eid).Kind == Message {
+			t.Error("dropped message still has a message edge")
+		}
+	}
+}
+
+func TestMessageFromStepTriggeredByFaulty(t *testing.T) {
+	// p1 faulty sends to p0; p0's step triggered by that message sends to
+	// p2. The correct message anchors at its true sending step (p0's
+	// event 1), which remains a node.
+	b := sim.NewTraceBuilder(3)
+	b.SetFaulty(1)
+	b.WakeAll(rat.Zero)
+	b.MsgAt(1, 0, 0, 1, "faulty")
+	b.MsgAt(0, 1, 2, 2, "fromTriggered") // sent from p0's event 1
+	tr := b.MustBuild()
+	g := Build(tr, Options{})
+
+	var msgEdge *Edge
+	for i := range g.Edges() {
+		if g.Edges()[i].Kind == Message {
+			e := g.Edges()[i]
+			msgEdge = &e
+		}
+	}
+	if msgEdge == nil {
+		t.Fatal("no message edge for correct message from triggered step")
+	}
+	from := g.Node(msgEdge.From)
+	if from.Proc != 0 || from.Index != 1 {
+		t.Errorf("message anchored at %v, want p0/1", from)
+	}
+}
+
+func TestDropMessageOption(t *testing.T) {
+	tr := chainTrace(t)
+	g := Build(tr, Options{
+		DropMessage: func(m sim.Message) bool {
+			s, ok := m.Payload.(string)
+			return ok && s == "m3"
+		},
+	})
+	if g.MessageCount() != 2 {
+		t.Errorf("got %d messages after drop, want 2", g.MessageCount())
+	}
+}
+
+func TestLeftClosureAndCuts(t *testing.T) {
+	tr := chainTrace(t)
+	g := Build(tr, Options{})
+	e2 := g.NodesOf(2)[1] // receive of m2 at p2
+
+	cone := g.CausalCone(e2)
+	// Causal past of e2: e2 itself, p2's wake-up, e1, p1's wake-up, p0's
+	// wake-up. Not p2's event 2 (m3 receive).
+	if cone.Size() != 5 {
+		t.Errorf("cone size = %d, want 5", cone.Size())
+	}
+	if !cone.IsLeftClosed() {
+		t.Error("causal cone not left-closed")
+	}
+	if !cone.IsConsistent() {
+		t.Error("causal cone should be consistent (covers every process)")
+	}
+
+	// Removing an interior node breaks left-closure.
+	broken := cone.Clone()
+	broken.Remove(g.NodesOf(1)[0])
+	if broken.IsLeftClosed() {
+		t.Error("cut missing causal past reported left-closed")
+	}
+	if broken.IsConsistent() {
+		t.Error("non-left-closed cut reported consistent")
+	}
+}
+
+func TestConsistencyRequiresAllCorrectProcesses(t *testing.T) {
+	tr := chainTrace(t)
+	g := Build(tr, Options{})
+	c := g.LeftClosure(g.NodesOf(0)[0]) // only p0's wake-up
+	if !c.IsLeftClosed() {
+		t.Error("singleton wake-up closure not left-closed")
+	}
+	if c.IsConsistent() {
+		t.Error("cut without events of p1, p2 reported consistent")
+	}
+}
+
+func TestFrontier(t *testing.T) {
+	tr := chainTrace(t)
+	g := Build(tr, Options{})
+	e3 := g.NodesOf(2)[2]
+	cone := g.CausalCone(e3)
+	// Frontier at p2 is e3 itself; at p0 its wake-up.
+	if f := cone.Frontier(2); f != e3 {
+		t.Errorf("frontier(p2) = %v, want %v", f, e3)
+	}
+	if f := cone.Frontier(0); f != g.NodesOf(0)[0] {
+		t.Errorf("frontier(p0) = %v", f)
+	}
+	empty := NewCut(g)
+	if f := empty.Frontier(0); f != -1 {
+		t.Errorf("frontier on empty cut = %v, want -1", f)
+	}
+}
+
+func TestCutAtTime(t *testing.T) {
+	tr := chainTrace(t)
+	g := Build(tr, Options{})
+	c := g.CutAtTime(rat.FromInt(1))
+	// At time 1: all wake-ups (t=0) + receive of m1 (t=1).
+	if c.Size() != 4 {
+		t.Errorf("cut at t=1 has %d nodes, want 4", c.Size())
+	}
+	// Real-time cuts are always left-closed.
+	if !c.IsLeftClosed() {
+		t.Error("real-time cut not left-closed")
+	}
+	if !c.IsConsistent() {
+		t.Error("real-time cut at t=1 should be consistent")
+	}
+}
+
+func TestInterval(t *testing.T) {
+	tr := chainTrace(t)
+	g := Build(tr, Options{})
+	w0 := g.NodesOf(0)[0]
+	e2 := g.NodesOf(2)[1]
+	iv := g.Interval(w0, e2)
+	// ⟨e2⟩ has 5 nodes, ⟨w0⟩ has 1; the interval has 4.
+	if iv.Size() != 4 {
+		t.Errorf("interval size = %d, want 4", iv.Size())
+	}
+	if iv.Contains(w0) {
+		t.Error("interval contains left endpoint's closure")
+	}
+	if !iv.Contains(e2) {
+		t.Error("interval missing right endpoint")
+	}
+}
+
+func TestCloseInPlace(t *testing.T) {
+	tr := chainTrace(t)
+	g := Build(tr, Options{})
+	c := NewCut(g)
+	c.Add(g.NodesOf(2)[1])
+	c.Close()
+	if !c.IsLeftClosed() || c.Size() != 5 {
+		t.Errorf("Close: leftClosed=%v size=%d", c.IsLeftClosed(), c.Size())
+	}
+}
+
+func TestNodesAndAccessors(t *testing.T) {
+	tr := chainTrace(t)
+	g := Build(tr, Options{})
+	if g.Trace() != tr {
+		t.Error("Trace accessor wrong")
+	}
+	n := g.Node(g.NodesOf(1)[0])
+	if n.Proc != 1 || n.Index != 0 || !n.Wakeup {
+		t.Errorf("node = %+v", n)
+	}
+	if n.String() != "p1/0" {
+		t.Errorf("String = %q", n.String())
+	}
+	// In/Out adjacency is mutually consistent.
+	for id := NodeID(0); int(id) < g.NumNodes(); id++ {
+		for _, eid := range g.Out(id) {
+			if g.Edge(eid).From != id {
+				t.Errorf("out edge %d not from %d", eid, id)
+			}
+		}
+		for _, eid := range g.In(id) {
+			if g.Edge(eid).To != id {
+				t.Errorf("in edge %d not to %d", eid, id)
+			}
+		}
+	}
+	// NodeByEvent round-trip.
+	for pos := range tr.Events {
+		id := g.NodeByEvent(pos)
+		if id >= 0 && g.Node(id).TracePos != pos {
+			t.Errorf("NodeByEvent(%d) round-trip failed", pos)
+		}
+	}
+}
+
+// Every receive event node has at most one incoming message edge and at
+// most one incoming local edge — the structural fact behind "every cycle
+// has at least one local edge" (see DESIGN.md).
+func TestInDegreeInvariant(t *testing.T) {
+	res, err := sim.Run(sim.Config{
+		N: 4,
+		Spawn: func(p sim.ProcessID) sim.Process {
+			return sim.ProcessFunc(func(env *sim.Env, msg sim.Message) {
+				if env.StepIndex() < 5 {
+					env.Broadcast(env.StepIndex())
+				}
+			})
+		},
+		Delays: sim.UniformDelay{Min: rat.One, Max: rat.FromInt(3)},
+		Seed:   7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := Build(res.Trace, Options{})
+	for id := NodeID(0); int(id) < g.NumNodes(); id++ {
+		msgs, locals := 0, 0
+		for _, eid := range g.In(id) {
+			switch g.Edge(eid).Kind {
+			case Message:
+				msgs++
+			case Local:
+				locals++
+			}
+		}
+		if msgs > 1 || locals > 1 {
+			t.Fatalf("node %v has %d message and %d local in-edges", g.Node(id), msgs, locals)
+		}
+	}
+	if !g.Digraph().IsDAG() {
+		t.Error("simulated execution graph not a DAG")
+	}
+}

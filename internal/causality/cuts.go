@@ -1,0 +1,204 @@
+package causality
+
+import (
+	"repro/internal/sim"
+)
+
+// Cut is a set of nodes of an execution graph. Cuts represent global system
+// states; the consistent ones (Definition 5) are exactly the left-closed
+// sets containing at least one event of every correct process.
+type Cut struct {
+	g  *Graph
+	in []bool
+}
+
+// NewCut returns an empty cut over g.
+func NewCut(g *Graph) *Cut {
+	return &Cut{g: g, in: make([]bool, g.NumNodes())}
+}
+
+// Contains reports whether n is in the cut.
+func (c *Cut) Contains(n NodeID) bool { return c.in[n] }
+
+// Add inserts n into the cut.
+func (c *Cut) Add(n NodeID) { c.in[n] = true }
+
+// Remove deletes n from the cut.
+func (c *Cut) Remove(n NodeID) { c.in[n] = false }
+
+// Size returns the number of nodes in the cut.
+func (c *Cut) Size() int {
+	k := 0
+	for _, b := range c.in {
+		if b {
+			k++
+		}
+	}
+	return k
+}
+
+// Nodes returns the cut's members in ascending NodeID order.
+func (c *Cut) Nodes() []NodeID {
+	var out []NodeID
+	for i, b := range c.in {
+		if b {
+			out = append(out, NodeID(i))
+		}
+	}
+	return out
+}
+
+// Clone returns an independent copy of the cut.
+func (c *Cut) Clone() *Cut {
+	in := make([]bool, len(c.in))
+	copy(in, c.in)
+	return &Cut{g: c.g, in: in}
+}
+
+// Minus returns the set difference c \ d as a cut (not necessarily
+// consistent). Used for consistent cut intervals (Definition 6):
+// [⟨φ⟩, ⟨ψ⟩] = ⟨ψ⟩ \ ⟨φ⟩.
+func (c *Cut) Minus(d *Cut) *Cut {
+	out := NewCut(c.g)
+	for i := range c.in {
+		out.in[i] = c.in[i] && !d.in[i]
+	}
+	return out
+}
+
+// IsLeftClosed reports whether the cut contains the full causal past of
+// each of its members (closure under the reflexive-transitive predecessor
+// relation of the execution graph).
+func (c *Cut) IsLeftClosed() bool {
+	for i, b := range c.in {
+		if !b {
+			continue
+		}
+		for _, eid := range c.g.In(NodeID(i)) {
+			if !c.in[c.g.Edge(eid).From] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// IsConsistent reports whether the cut is consistent per Definition 5:
+// left-closed and containing at least one event of every correct process.
+func (c *Cut) IsConsistent() bool {
+	if !c.IsLeftClosed() {
+		return false
+	}
+	for _, p := range c.g.Trace().CorrectProcesses() {
+		found := false
+		for _, n := range c.g.NodesOf(p) {
+			if c.in[n] {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// Frontier returns the last node of process p within the cut (the node
+// whose post-state defines C_p(S)), or -1 if the cut has no event of p.
+// Local order coincides with causal order at a single process, so the last
+// kept node in the cut is the maximum w.r.t. the closure of the edge
+// relation.
+func (c *Cut) Frontier(p sim.ProcessID) NodeID {
+	nodes := c.g.NodesOf(p)
+	for i := len(nodes) - 1; i >= 0; i-- {
+		if c.in[nodes[i]] {
+			return nodes[i]
+		}
+	}
+	return -1
+}
+
+// LeftClosure returns ⟨φ1, ..., φk⟩: the smallest left-closed set
+// containing the given nodes — their joint causal past, inclusive.
+func (g *Graph) LeftClosure(nodes ...NodeID) *Cut {
+	c := NewCut(g)
+	stack := make([]NodeID, 0, len(nodes))
+	for _, n := range nodes {
+		if !c.in[n] {
+			c.in[n] = true
+			stack = append(stack, n)
+		}
+	}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, eid := range g.In(v) {
+			u := g.Edge(eid).From
+			if !c.in[u] {
+				c.in[u] = true
+				stack = append(stack, u)
+			}
+		}
+	}
+	return c
+}
+
+// Close left-closes the cut in place, adding the causal past of all
+// members, and returns the receiver.
+func (c *Cut) Close() *Cut {
+	closed := c.g.LeftClosure(c.Nodes()...)
+	copy(c.in, closed.in)
+	return c
+}
+
+// CutAtTime returns the real-time cut at time t: all nodes with occurrence
+// time <= t. Real-time cuts are always left-closed (messages are never
+// received before they are sent), which is the transfer used by Theorem 3.
+func (g *Graph) CutAtTime(t sim.Time) *Cut {
+	c := NewCut(g)
+	for i := range g.nodes {
+		if g.nodes[i].Time.LessEq(t) {
+			c.in[i] = true
+		}
+	}
+	return c
+}
+
+// Interval returns the consistent cut interval [⟨φ⟩, ⟨ψ⟩] := ⟨ψ⟩ \ ⟨φ⟩ of
+// Definition 6.
+func (g *Graph) Interval(phi, psi NodeID) *Cut {
+	return g.LeftClosure(psi).Minus(g.LeftClosure(phi))
+}
+
+// HappensBefore reports whether a ∗→ b (reflexive-transitive closure of
+// the edge relation).
+func (g *Graph) HappensBefore(a, b NodeID) bool {
+	if a == b {
+		return true
+	}
+	// Search backwards from b: the in-degree of execution graphs is at most
+	// 2 (one local, one message edge), so the reverse search is linear.
+	seen := make([]bool, g.NumNodes())
+	stack := []NodeID{b}
+	seen[b] = true
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, eid := range g.In(v) {
+			u := g.Edge(eid).From
+			if u == a {
+				return true
+			}
+			if !seen[u] {
+				seen[u] = true
+				stack = append(stack, u)
+			}
+		}
+	}
+	return false
+}
+
+// CausalCone returns the cut ⟨φ⟩ — all events that happen-before φ,
+// inclusive. It is the object of Lemma 4 (the causal cone property).
+func (g *Graph) CausalCone(phi NodeID) *Cut { return g.LeftClosure(phi) }

@@ -1,0 +1,227 @@
+// Package causality implements the execution graph of Definition 1 of the
+// ABC paper and the causal-order machinery built on it: happens-before
+// reachability, left closures, consistent cuts and their frontiers
+// (Definition 5), consistent cut intervals (Definition 6), and real-time
+// cuts in the sense of Mattern used by Theorem 3.
+//
+// The execution graph G_α of an admissible execution α has one node per
+// receive event and two kinds of edges: non-local edges ("messages") from
+// the computing step that sent a message to its receive event, and local
+// edges between consecutive events at the same process.
+//
+// Messages sent by faulty processes are dropped per Definition 1. The
+// definition also drops their receive events; this implementation instead
+// keeps the receive event as a node without an incoming message edge.
+// The two graphs are equivalent for every Definition 3/4 purpose: local
+// edges are never counted in |Z−| or |Z+|, and subdividing a local chain
+// with an extra node changes neither a cycle's message counts nor its
+// orientation or relevance. Keeping the node additionally anchors
+// messages a correct process sent from such a step at their true causal
+// position (the paper is silent on that corner), preserves the physical
+// event order, and makes exempting messages (Section 2's restriction
+// mechanism, used by the Section 6 variants) monotone: dropping more
+// messages never creates constraints.
+package causality
+
+import (
+	"fmt"
+
+	"repro/internal/graphutil"
+	"repro/internal/sim"
+)
+
+// NodeID indexes a node (receive event) within a Graph.
+type NodeID int
+
+// Node is a receive event kept in the execution graph.
+type Node struct {
+	Proc  sim.ProcessID
+	Index int // the event's per-process index in the underlying trace
+	Time  sim.Time
+	// TracePos is the event's position in Trace.Events.
+	TracePos int
+	// Wakeup is true for the externally triggered initial event.
+	Wakeup bool
+}
+
+// EdgeKind distinguishes local edges from messages (non-local edges).
+type EdgeKind uint8
+
+// Edge kinds. Only Message edges count toward cycle lengths |Z−| and |Z+|
+// (Definition 2: the length of a chain is its number of non-local edges).
+const (
+	Local EdgeKind = iota + 1
+	Message
+)
+
+func (k EdgeKind) String() string {
+	switch k {
+	case Local:
+		return "local"
+	case Message:
+		return "message"
+	default:
+		return fmt.Sprintf("EdgeKind(%d)", uint8(k))
+	}
+}
+
+// EdgeID indexes an edge within a Graph.
+type EdgeID int
+
+// Edge is a directed edge of the execution graph.
+type Edge struct {
+	From, To NodeID
+	Kind     EdgeKind
+	// Msg is the underlying message for Message edges, -1 for local edges.
+	Msg sim.MsgID
+}
+
+// Graph is the execution graph G_α. It is immutable after Build.
+type Graph struct {
+	trace *sim.Trace
+	nodes []Node
+	edges []Edge
+	// out and in hold edge IDs per node.
+	out, in [][]EdgeID
+	// nodeByEvent maps a trace event position to its node, -1 if dropped.
+	nodeByEvent []NodeID
+	// procNodes lists each process's kept nodes in local order.
+	procNodes [][]NodeID
+}
+
+// Options configure Build.
+type Options struct {
+	// DropMessage, when non-nil, exempts additional messages from the graph
+	// (and hence from the ABC synchrony condition), as suggested in
+	// Section 2 for messages "of some specific type or sent/received by
+	// some specific processes" and used by the weaker models of Section 6.
+	// The receive events of dropped messages are removed like those of
+	// faulty-sent messages.
+	DropMessage func(m sim.Message) bool
+}
+
+// Build constructs the execution graph of a trace.
+func Build(t *sim.Trace, opts Options) *Graph {
+	g := &Graph{
+		trace:       t,
+		nodeByEvent: make([]NodeID, len(t.Events)),
+		procNodes:   make([][]NodeID, t.N),
+	}
+
+	dropped := func(m sim.Message) bool {
+		if m.IsWakeup() {
+			return false
+		}
+		if m.From >= 0 && m.SendStep == sim.SendStepScripted {
+			return true // scripted sends come only from faulty processes
+		}
+		if t.Faulty[m.From] {
+			return true
+		}
+		return opts.DropMessage != nil && opts.DropMessage(m)
+	}
+
+	// Pass 1: create a node for every receive event. Events triggered by
+	// dropped messages stay as nodes (see the package comment) but will
+	// get no incoming message edge.
+	for pos, ev := range t.Events {
+		m := t.Msgs[ev.Trigger]
+		id := NodeID(len(g.nodes))
+		g.nodes = append(g.nodes, Node{
+			Proc:     ev.Proc,
+			Index:    ev.Index,
+			Time:     ev.Time,
+			TracePos: pos,
+			Wakeup:   m.IsWakeup(),
+		})
+		g.nodeByEvent[pos] = id
+		g.procNodes[ev.Proc] = append(g.procNodes[ev.Proc], id)
+	}
+
+	// Pass 2: local edges between consecutive kept events of each process.
+	for p := 0; p < t.N; p++ {
+		nodes := g.procNodes[p]
+		for i := 1; i < len(nodes); i++ {
+			g.edges = append(g.edges, Edge{From: nodes[i-1], To: nodes[i], Kind: Local, Msg: -1})
+		}
+	}
+
+	// Pass 3: message edges for kept messages, from the sending step's
+	// node to the receive event's node.
+	for pos, ev := range t.Events {
+		to := g.nodeByEvent[pos]
+		m := t.Msgs[ev.Trigger]
+		if m.IsWakeup() || dropped(m) {
+			continue // external trigger or exempted: no message edge
+		}
+		sendPos := t.EventAt(m.From, m.SendStep)
+		if sendPos < 0 {
+			continue // scripted send without a step: dangling
+		}
+		from := g.nodeByEvent[sendPos]
+		g.edges = append(g.edges, Edge{From: from, To: to, Kind: Message, Msg: m.ID})
+	}
+
+	g.out = make([][]EdgeID, len(g.nodes))
+	g.in = make([][]EdgeID, len(g.nodes))
+	for i, e := range g.edges {
+		g.out[e.From] = append(g.out[e.From], EdgeID(i))
+		g.in[e.To] = append(g.in[e.To], EdgeID(i))
+	}
+	return g
+}
+
+// Trace returns the underlying trace.
+func (g *Graph) Trace() *sim.Trace { return g.trace }
+
+// NumNodes returns the node count.
+func (g *Graph) NumNodes() int { return len(g.nodes) }
+
+// NumEdges returns the edge count.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// Node returns the node with the given ID.
+func (g *Graph) Node(id NodeID) Node { return g.nodes[id] }
+
+// Edge returns the edge with the given ID.
+func (g *Graph) Edge(id EdgeID) Edge { return g.edges[id] }
+
+// Edges returns all edges. The caller must not modify the result.
+func (g *Graph) Edges() []Edge { return g.edges }
+
+// Out returns the IDs of edges leaving n. The caller must not modify it.
+func (g *Graph) Out(n NodeID) []EdgeID { return g.out[n] }
+
+// In returns the IDs of edges entering n. The caller must not modify it.
+func (g *Graph) In(n NodeID) []EdgeID { return g.in[n] }
+
+// NodesOf returns process p's kept nodes in local order.
+func (g *Graph) NodesOf(p sim.ProcessID) []NodeID { return g.procNodes[p] }
+
+// NodeByEvent returns the node for the trace event at position pos, or -1
+// if the event was dropped.
+func (g *Graph) NodeByEvent(pos int) NodeID { return g.nodeByEvent[pos] }
+
+// MessageCount returns the number of non-local edges.
+func (g *Graph) MessageCount() int {
+	n := 0
+	for _, e := range g.edges {
+		if e.Kind == Message {
+			n++
+		}
+	}
+	return n
+}
+
+// Digraph converts the execution graph to a graphutil.Digraph with edge
+// labels equal to edge IDs, for topological sorting and DOT export.
+func (g *Graph) Digraph() *graphutil.Digraph {
+	d := graphutil.New(len(g.nodes))
+	for i, e := range g.edges {
+		d.AddEdge(int(e.From), int(e.To), 0, int32(i))
+	}
+	return d
+}
+
+// String renders a node as "p3/7" (process 3, event index 7).
+func (n Node) String() string { return fmt.Sprintf("p%d/%d", n.Proc, n.Index) }

@@ -1,0 +1,150 @@
+package causality
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rat"
+	"repro/internal/sim"
+)
+
+// randomExec builds a random execution graph from a seeded simulation.
+func randomExec(seed int64) *Graph {
+	if seed < 0 {
+		seed = -seed
+	}
+	n := 2 + int(seed%3)
+	res, err := sim.Run(sim.Config{
+		N: n,
+		Spawn: func(p sim.ProcessID) sim.Process {
+			return sim.ProcessFunc(func(env *sim.Env, msg sim.Message) {
+				if env.StepIndex() < 4 {
+					env.Broadcast(env.StepIndex())
+				}
+			})
+		},
+		Delays: sim.UniformDelay{Min: rat.One, Max: rat.FromInt(2)},
+		Seed:   seed,
+	})
+	if err != nil {
+		panic(err)
+	}
+	return Build(res.Trace, Options{})
+}
+
+// Property: left closure is idempotent and monotone.
+func TestClosureIdempotentProperty(t *testing.T) {
+	f := func(seed int64, pick uint8) bool {
+		g := randomExec(seed)
+		if g.NumNodes() == 0 {
+			return true
+		}
+		n := NodeID(int(pick) % g.NumNodes())
+		c1 := g.LeftClosure(n)
+		c2 := c1.Clone().Close()
+		if c1.Size() != c2.Size() {
+			return false
+		}
+		return c1.IsLeftClosed()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a consistent cut interval [⟨φ⟩, ⟨ψ⟩] never intersects ⟨φ⟩ and
+// its union with ⟨φ⟩ is exactly ⟨ψ⟩ when φ ∗→ ψ.
+func TestIntervalPartitionProperty(t *testing.T) {
+	f := func(seed int64, a, b uint8) bool {
+		g := randomExec(seed)
+		if g.NumNodes() < 2 {
+			return true
+		}
+		x := NodeID(int(a) % g.NumNodes())
+		y := NodeID(int(b) % g.NumNodes())
+		if !g.HappensBefore(x, y) {
+			return true
+		}
+		phi, psi := g.LeftClosure(x), g.LeftClosure(y)
+		iv := g.Interval(x, y)
+		for _, n := range iv.Nodes() {
+			if phi.Contains(n) {
+				return false
+			}
+			if !psi.Contains(n) {
+				return false
+			}
+		}
+		return iv.Size()+phi.Size() == psi.Size()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: HappensBefore is a partial order — antisymmetric on distinct
+// nodes (the graph is a DAG) and transitive.
+func TestHappensBeforePartialOrderProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 30; trial++ {
+		g := randomExec(int64(trial))
+		n := g.NumNodes()
+		if n < 3 {
+			continue
+		}
+		a := NodeID(rng.Intn(n))
+		b := NodeID(rng.Intn(n))
+		c := NodeID(rng.Intn(n))
+		if a != b && g.HappensBefore(a, b) && g.HappensBefore(b, a) {
+			t.Fatalf("antisymmetry violated between %v and %v", g.Node(a), g.Node(b))
+		}
+		if g.HappensBefore(a, b) && g.HappensBefore(b, c) && !g.HappensBefore(a, c) {
+			t.Fatalf("transitivity violated: %v -> %v -> %v", g.Node(a), g.Node(b), g.Node(c))
+		}
+	}
+}
+
+// Property: real-time cuts are consistent at every event time (Mattern's
+// transfer, used by Theorem 3).
+func TestRealTimeCutsConsistentProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomExec(seed)
+		for i := 0; i < g.NumNodes(); i += 3 {
+			cut := g.CutAtTime(g.Node(NodeID(i)).Time)
+			if !cut.IsLeftClosed() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: frontier nodes are maximal within the cut for their process.
+func TestFrontierMaximalProperty(t *testing.T) {
+	f := func(seed int64, pick uint8) bool {
+		g := randomExec(seed)
+		if g.NumNodes() == 0 {
+			return true
+		}
+		cut := g.LeftClosure(NodeID(int(pick) % g.NumNodes()))
+		for p := sim.ProcessID(0); int(p) < g.Trace().N; p++ {
+			fr := cut.Frontier(p)
+			if fr < 0 {
+				continue
+			}
+			for _, n := range g.NodesOf(p) {
+				if cut.Contains(n) && g.Node(n).Index > g.Node(fr).Index {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

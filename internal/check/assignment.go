@@ -1,0 +1,81 @@
+package check
+
+import (
+	"fmt"
+
+	"repro/internal/causality"
+	"repro/internal/rat"
+)
+
+// Assignment is a normalized delay assignment for an execution graph
+// (Section 4.1): exact rational occurrence times for all events such that
+// every message edge has delay strictly between 1 and Ξ and every local
+// edge has strictly positive duration. Its existence for every admissible
+// ABC execution graph is Theorem 7; Timed executions built from it are
+// admissible in the Θ-Model, which is the bridge used by the model
+// indistinguishability results (Theorems 9 and 12).
+type Assignment struct {
+	g *causality.Graph
+	// times[n] is the assigned occurrence time of node n.
+	times []rat.Rat
+}
+
+// newAssignment converts scaled integer Bellman–Ford potentials into
+// rational times: t(n) = dist[n] / scale, with scale = b·(E+1).
+func newAssignment(g *causality.Graph, dist []int64, scale int64) *Assignment {
+	times := make([]rat.Rat, len(dist))
+	for i, d := range dist {
+		times[i] = rat.New(d, scale)
+	}
+	return &Assignment{g: g, times: times}
+}
+
+// Time returns the assigned occurrence time of node n.
+func (a *Assignment) Time(n causality.NodeID) rat.Rat { return a.times[n] }
+
+// Delay returns the assigned weight τ(e) of edge e: the end-to-end delay
+// for message edges, the inter-event gap for local edges.
+func (a *Assignment) Delay(e causality.EdgeID) rat.Rat {
+	edge := a.g.Edge(e)
+	return a.times[edge.To].Sub(a.times[edge.From])
+}
+
+// MinMaxMessageDelay returns the smallest and largest assigned message
+// delay, or ok=false when the graph has no message edges. For a valid
+// normalized assignment the ratio max/min is strictly below Ξ, which is
+// how Θ-admissibility (Equation 3) follows.
+func (a *Assignment) MinMaxMessageDelay() (min, max rat.Rat, ok bool) {
+	for i, edge := range a.g.Edges() {
+		if edge.Kind != causality.Message {
+			continue
+		}
+		d := a.Delay(causality.EdgeID(i))
+		if !ok {
+			min, max, ok = d, d, true
+			continue
+		}
+		min = rat.Min(min, d)
+		max = rat.Max(max, d)
+	}
+	return min, max, ok
+}
+
+// Validate checks that the assignment is normalized for the given Ξ:
+// 1 < τ(e) < Ξ for all messages e, τ(ē) > 0 for all local edges ē
+// (conditions (4) and (5) of the paper).
+func (a *Assignment) Validate(xi rat.Rat) error {
+	for i, edge := range a.g.Edges() {
+		d := a.Delay(causality.EdgeID(i))
+		switch edge.Kind {
+		case causality.Message:
+			if !d.Greater(rat.One) || !d.Less(xi) {
+				return fmt.Errorf("check: message edge %d has delay %v outside (1, %v)", i, d, xi)
+			}
+		case causality.Local:
+			if d.Sign() <= 0 {
+				return fmt.Errorf("check: local edge %d has non-positive duration %v", i, d)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,155 @@
+// Package check decides ABC admissibility (Definition 4) of execution
+// graphs and produces certificates either way:
+//
+//   - when the graph is admissible, a normalized delay assignment τ with
+//     1 < τ(message) < Ξ and τ(local) > 0 whose existence is the content of
+//     Theorem 7/Theorem 12 — returned as concrete exact rationals;
+//   - when it is not, a violating relevant cycle Z with |Z−|/|Z+| >= Ξ.
+//
+// The checker avoids enumerating the exponentially many cycles by the
+// observation (proved in the paper via Farkas' lemma, and elementary in the
+// converse direction) that the ABC condition holds if and only if the
+// strict difference-constraint system over event occurrence times
+//
+//	1 < t(v) − t(u) < Ξ   for every message edge (u, v)
+//	0 < t(v) − t(u)       for every local edge (u, v)
+//
+// is feasible. Feasibility of difference constraints is the absence of a
+// negative cycle in the constraint digraph. Strict inequalities and the
+// rational Ξ = a/b are handled exactly by scaling: all times are multiplied
+// by b·(E+1), where E is the number of constraint-relevant edges, making
+// every constant an integer, and each strict bound is tightened by 1. Any
+// simple cycle has at most E edges, so the accumulated tightenings (at most
+// E) can never flip the sign of a scaled integer sum (multiples of E+1).
+//
+// A negative cycle in the constraint digraph maps back to a relevant cycle
+// violating Definition 4: upper-bound edges are its forward messages,
+// lower-bound edges its backward messages, and local edges are only ever
+// traversable backward — precisely the relevance condition of Definition 3.
+package check
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/causality"
+	"repro/internal/cycles"
+	"repro/internal/graphutil"
+	"repro/internal/rat"
+)
+
+// ErrXiOutOfRange is returned when Ξ <= 1 (the ABC model requires Ξ > 1;
+// see footnote 16 of the paper).
+var ErrXiOutOfRange = errors.New("check: Ξ must be a rational > 1")
+
+// Verdict is the outcome of an admissibility check.
+type Verdict struct {
+	// Admissible reports whether every relevant cycle Z satisfies
+	// |Z−|/|Z+| < Ξ.
+	Admissible bool
+	// Witness is a violating relevant cycle when Admissible is false.
+	Witness *cycles.Cycle
+	// WitnessClass is the Definition 3 classification of Witness.
+	WitnessClass cycles.Class
+	// Assignment is a normalized delay assignment when Admissible is true
+	// (Theorem 7).
+	Assignment *Assignment
+}
+
+// ABC checks the execution graph against the ABC synchrony condition for
+// the given Ξ. It runs in O(V·E) time and is exact.
+func ABC(g *causality.Graph, xi rat.Rat) (Verdict, error) {
+	if !xi.Greater(rat.One) {
+		return Verdict{}, ErrXiOutOfRange
+	}
+	a, b := xi.Num(), xi.Den()
+	return run(g, a, b, true)
+}
+
+// constraint edge label encoding: label = 3*edgeID + kind.
+const (
+	labelUpper = 0 // message upper bound, traversed forward
+	labelLower = 1 // message lower bound, traversed backward
+	labelLocal = 2 // local edge, traversed backward
+)
+
+// run builds the scaled constraint digraph for Ξ = a/b and solves it.
+// wantCerts controls whether certificates (assignment/witness) are built.
+func run(g *causality.Graph, a, b int64, wantCerts bool) (Verdict, error) {
+	if !g.Digraph().IsDAG() {
+		return Verdict{}, errors.New("check: execution graph is not a DAG")
+	}
+	edges := g.Edges()
+	e := int64(len(edges))
+	s := e + 1 // strictness scale
+	v := int64(g.NumNodes())
+	// Overflow guard: the largest |path sum| is bounded by (V+1)·max|w|,
+	// with max|w| <= max(a,b)·S + 1.
+	maxW := a
+	if b > maxW {
+		maxW = b
+	}
+	if maxW > 0 && (v+2) > math.MaxInt64/(maxW*s+1) {
+		return Verdict{}, fmt.Errorf("check: graph too large for exact int64 arithmetic (V=%d, E=%d, Ξ=%d/%d)", v, e, a, b)
+	}
+
+	cg := graphutil.New(g.NumNodes())
+	for i, edge := range edges {
+		switch edge.Kind {
+		case causality.Message:
+			// t(v) - t(u) < a/b  =>  T(v) - T(u) <= a·S − 1.
+			cg.AddEdge(int(edge.From), int(edge.To), a*s-1, int32(3*i+labelUpper))
+			// t(v) - t(u) > 1    =>  T(u) - T(v) <= −b·S − 1.
+			cg.AddEdge(int(edge.To), int(edge.From), -b*s-1, int32(3*i+labelLower))
+		case causality.Local:
+			// t(v) - t(u) > 0    =>  T(u) - T(v) <= −1.
+			cg.AddEdge(int(edge.To), int(edge.From), -1, int32(3*i+labelLocal))
+		default:
+			return Verdict{}, fmt.Errorf("check: unknown edge kind %v", edge.Kind)
+		}
+	}
+
+	res := cg.BellmanFord()
+	if res.Feasible {
+		verdict := Verdict{Admissible: true}
+		if wantCerts {
+			verdict.Assignment = newAssignment(g, res.Dist, b*s)
+		}
+		return verdict, nil
+	}
+
+	verdict := Verdict{Admissible: false}
+	if wantCerts {
+		w, err := witnessFromNegativeCycle(g, res.NegativeCycle)
+		if err != nil {
+			return Verdict{}, err
+		}
+		verdict.Witness = &w
+		verdict.WitnessClass = cycles.Classify(w)
+	}
+	return verdict, nil
+}
+
+// witnessFromNegativeCycle maps a negative cycle of the constraint digraph
+// back to a violating relevant cycle of the execution graph.
+func witnessFromNegativeCycle(g *causality.Graph, neg []graphutil.Edge) (cycles.Cycle, error) {
+	steps := make([]cycles.Step, len(neg))
+	for i, ce := range neg {
+		edgeID := causality.EdgeID(ce.Label / 3)
+		switch ce.Label % 3 {
+		case labelUpper:
+			steps[i] = cycles.Step{Edge: edgeID, Forward: true}
+		case labelLower, labelLocal:
+			steps[i] = cycles.Step{Edge: edgeID, Forward: false}
+		}
+	}
+	c, err := cycles.NewCycle(g, steps)
+	if err != nil {
+		return cycles.Cycle{}, fmt.Errorf("check: internal error mapping witness: %w", err)
+	}
+	if cl := cycles.Classify(c); !cl.Relevant {
+		return cycles.Cycle{}, fmt.Errorf("check: internal error: witness cycle not relevant: %v", c)
+	}
+	return c, nil
+}

@@ -1,0 +1,51 @@
+package check
+
+import (
+	"repro/internal/causality"
+	"repro/internal/cycles"
+	"repro/internal/rat"
+)
+
+// Exhaustive checks Definition 4 directly by enumerating all simple cycles
+// of the shadow graph, classifying each, and comparing ratios. It is
+// exponential and exists as the ground-truth oracle for validating the
+// scalable checker; complete is false when the enumeration limit truncated
+// the search (in which case a true verdict is only partial).
+func Exhaustive(g *causality.Graph, xi rat.Rat, limit int) (verdict Verdict, complete bool, err error) {
+	if !xi.Greater(rat.One) {
+		return Verdict{}, false, ErrXiOutOfRange
+	}
+	all, complete := cycles.Enumerate(g, limit)
+	worst := Verdict{Admissible: true}
+	var worstRatio rat.Rat
+	for _, c := range all {
+		cl := cycles.Classify(c)
+		if !cl.Relevant {
+			continue
+		}
+		if r := cl.Ratio(); r.GreaterEq(xi) && r.Greater(worstRatio) {
+			worstRatio = r
+			c := c
+			worst = Verdict{Admissible: false, Witness: &c, WitnessClass: cl}
+		}
+	}
+	return worst, complete, nil
+}
+
+// MaxRelevantRatioExhaustive returns the largest |Z−|/|Z+| over all
+// relevant cycles by enumeration, with found=false when the graph has no
+// relevant cycle. complete is false if the limit truncated enumeration.
+func MaxRelevantRatioExhaustive(g *causality.Graph, limit int) (max rat.Rat, found, complete bool) {
+	all, complete := cycles.Enumerate(g, limit)
+	for _, c := range all {
+		cl := cycles.Classify(c)
+		if !cl.Relevant {
+			continue
+		}
+		if r := cl.Ratio(); !found || r.Greater(max) {
+			max = r
+			found = true
+		}
+	}
+	return max, found, complete
+}

@@ -1,0 +1,139 @@
+package check
+
+import (
+	"testing"
+
+	"repro/internal/causality"
+	"repro/internal/rat"
+	"repro/internal/scenario"
+	"repro/internal/sim"
+)
+
+// Theorem 9's constructive content: retiming an admissible execution with
+// its normalized assignment yields a causally equivalent trace that is
+// statically Θ-admissible for Θ = Ξ.
+func TestRetimePreservesStructure(t *testing.T) {
+	fig := scenario.BuildFig1() // contains a zero-delay message
+	xi := rat.FromInt(2)
+	v, err := ABC(fig.Graph, xi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Admissible {
+		t.Fatal("Fig.1 not admissible at Ξ=2")
+	}
+
+	retimed, err := v.Assignment.Retime()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Causal equivalence: the execution graphs match edge for edge.
+	g2 := causality.Build(retimed, causality.Options{})
+	if g2.NumNodes() != fig.Graph.NumNodes() || g2.NumEdges() != fig.Graph.NumEdges() {
+		t.Fatalf("retimed graph shape %d/%d, want %d/%d",
+			g2.NumNodes(), g2.NumEdges(), fig.Graph.NumNodes(), fig.Graph.NumEdges())
+	}
+	type key struct {
+		fp sim.ProcessID
+		fi int
+		tp sim.ProcessID
+		ti int
+		k  causality.EdgeKind
+	}
+	edgeSet := func(g *causality.Graph) map[key]int {
+		m := make(map[key]int)
+		for _, e := range g.Edges() {
+			f, to := g.Node(e.From), g.Node(e.To)
+			m[key{f.Proc, f.Index, to.Proc, to.Index, e.Kind}]++
+		}
+		return m
+	}
+	a, b := edgeSet(fig.Graph), edgeSet(g2)
+	for k, c := range a {
+		if b[k] != c {
+			t.Fatalf("edge multiset differs at %+v: %d vs %d", k, c, b[k])
+		}
+	}
+
+	// The original has a zero-delay message (no positive τ− exists); the
+	// retimed trace has all message delays strictly inside (1, Ξ) — the
+	// static Θ(Ξ)-admissibility of Theorem 9. (The Θ-package view of this
+	// same fact is tested in internal/theta to avoid an import cycle.)
+	sawZero := false
+	for _, m := range fig.Trace.Msgs {
+		if !m.IsWakeup() && m.RecvTime.Equal(m.SendTime) {
+			sawZero = true
+		}
+	}
+	if !sawZero {
+		t.Error("Fig.1 lost its zero-delay message")
+	}
+	for _, m := range retimed.Msgs {
+		if m.IsWakeup() {
+			continue
+		}
+		d := m.RecvTime.Sub(m.SendTime)
+		if !d.Greater(rat.One) || !d.Less(xi) {
+			t.Fatalf("retimed delay %v outside (1, %v)", d, xi)
+		}
+	}
+	// And of course still ABC-admissible.
+	v2, err := ABC(g2, xi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v2.Admissible {
+		t.Error("retimed trace lost ABC admissibility")
+	}
+}
+
+// Retiming works on simulator-produced traces with faulty processes whose
+// dropped events need predecessor re-timing.
+func TestRetimeWithFaults(t *testing.T) {
+	res, err := sim.Run(sim.Config{
+		N: 4,
+		Spawn: func(p sim.ProcessID) sim.Process {
+			return sim.ProcessFunc(func(env *sim.Env, msg sim.Message) {
+				if env.StepIndex() < 3 {
+					env.Broadcast(env.StepIndex())
+				}
+			})
+		},
+		Faults: map[sim.ProcessID]sim.Fault{3: sim.Crash(2)},
+		Delays: sim.UniformDelay{Min: rat.One, Max: rat.New(3, 2)},
+		Seed:   5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := causality.Build(res.Trace, causality.Options{})
+	v, err := ABC(g, rat.FromInt(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Admissible {
+		t.Skip("seed produced inadmissible run")
+	}
+	retimed, err := v.Assignment.Retime()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := retimed.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	g2 := causality.Build(retimed, causality.Options{})
+	if g2.NumEdges() != g.NumEdges() {
+		t.Errorf("retimed graph has %d edges, want %d", g2.NumEdges(), g.NumEdges())
+	}
+}
+
+func TestReassembleRejectsBroken(t *testing.T) {
+	fig := scenario.BuildFig1()
+	tr := fig.Trace
+	// Break message recv/event time coherence.
+	events := append([]sim.Event(nil), tr.Events...)
+	events[3].Time = events[3].Time.Add(rat.One)
+	if _, err := sim.Reassemble(tr.N, events, tr.Msgs, tr.Faulty); err == nil {
+		t.Error("incoherent reassembly accepted")
+	}
+}

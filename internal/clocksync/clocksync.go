@@ -1,0 +1,220 @@
+// Package clocksync implements Algorithm 1 of the ABC paper: Byzantine
+// fault-tolerant tick generation for n >= 3f+1 processes in a fully
+// connected network, originally from Widder & Schmid's Θ-Model work and
+// proved correct in the ABC model in Section 3.
+//
+// Every process maintains a clock k, initially broadcasting (tick 0).
+// Receiving f+1 distinct (tick l) messages with l > k lets it catch up to
+// l (at least one sender is correct); receiving n−f distinct (tick k)
+// messages lets it advance to k+1. Each (tick j) is broadcast at most once.
+//
+// The theorems of Section 3 are implemented as trace monitors in
+// monitor.go: progress (Theorem 1), the causal-cone property (Lemma 4),
+// synchrony on consistent cuts (Theorem 2), real-time precision
+// (Theorem 3), and bounded progress (Theorem 4).
+package clocksync
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Tick is the message payload of Algorithm 1.
+type Tick struct {
+	K int
+	// Round piggybacks lock-step round data (Algorithm 2): nil when no
+	// round message is attached. Piggybacking matters: the round r message
+	// must travel inside (tick 2Ξr), since Theorem 5's proof identifies
+	// receiving that tick with receiving the round message.
+	Round *RoundData
+}
+
+// RoundData is a lock-step round message attached to a tick.
+type RoundData struct {
+	R       int
+	Payload any
+}
+
+// Note is attached to each receive event (via Env.SetNote) for the
+// monitors.
+type Note struct {
+	// Clock is the process's clock value after the step.
+	Clock int
+	// Advanced is true when the clock changed in this step.
+	Advanced bool
+	// Broadcast is true when at least one tick was broadcast in this step.
+	// A step with Advanced && Broadcast is a "distinguished event" in the
+	// sense of Theorem 4.
+	Broadcast bool
+}
+
+// Proc is one Algorithm 1 process. Create with New; it implements
+// sim.Process.
+type Proc struct {
+	n, f int
+	k    int
+	sent int // highest tick broadcast so far ([once] guard); -1 before wake-up
+	// recv[l] is the set of distinct senders of (tick l) seen so far.
+	recv map[int]map[sim.ProcessID]bool
+	// attach, when non-nil, is invoked right before broadcasting tick j to
+	// obtain piggybacked round data (used by internal/lockstep).
+	attach func(env *sim.Env, j int) *RoundData
+	// attachPer, when non-nil, replaces the uniform broadcast by
+	// per-recipient sends with individually chosen round data — the
+	// equivocation a Byzantine process may commit at the round level while
+	// still ticking correctly. Takes precedence over attach.
+	attachPer func(env *sim.Env, j int, to sim.ProcessID) *RoundData
+	// onReceive, when non-nil, observes piggybacked round data.
+	onReceive func(from sim.ProcessID, rd *RoundData)
+}
+
+// New returns an Algorithm 1 process for an n-process system tolerating f
+// Byzantine faults. It panics unless n >= 3f+1 and f >= 0 — a misconfigured
+// resilience bound is a programming error, not a runtime condition.
+func New(n, f int) *Proc {
+	if f < 0 || n < 3*f+1 {
+		panic(fmt.Sprintf("clocksync: need n >= 3f+1, got n=%d f=%d", n, f))
+	}
+	return &Proc{
+		n:    n,
+		f:    f,
+		k:    0,
+		sent: -1,
+		recv: make(map[int]map[sim.ProcessID]bool),
+	}
+}
+
+// Clock returns the current clock value k.
+func (p *Proc) Clock() int { return p.k }
+
+// SetPiggyback installs the hooks used by Algorithm 2 (internal/lockstep):
+// attach is called right before broadcasting each tick j to obtain round
+// data to piggyback; onReceive observes round data on incoming ticks. Must
+// be called before the process takes its first step.
+func (p *Proc) SetPiggyback(
+	attach func(env *sim.Env, j int) *RoundData,
+	onReceive func(from sim.ProcessID, rd *RoundData),
+) {
+	p.attach = attach
+	p.onReceive = onReceive
+}
+
+// SetEquivocatingPiggyback installs a per-recipient piggyback hook: the
+// process still runs Algorithm 1 faithfully (so it does not disturb clock
+// progress) but may attach different round data for different recipients —
+// the round-level equivocation available to Byzantine processes.
+func (p *Proc) SetEquivocatingPiggyback(
+	attachPer func(env *sim.Env, j int, to sim.ProcessID) *RoundData,
+	onReceive func(from sim.ProcessID, rd *RoundData),
+) {
+	p.attachPer = attachPer
+	p.onReceive = onReceive
+}
+
+// Step implements sim.Process.
+func (p *Proc) Step(env *sim.Env, msg sim.Message) {
+	advanced := false
+	broadcast := false
+
+	send := func(j int) {
+		// [once]: each tick value is broadcast at most once.
+		if j <= p.sent {
+			return
+		}
+		p.sent = j
+		if p.attachPer != nil {
+			for to := sim.ProcessID(0); int(to) < env.N(); to++ {
+				env.Send(to, Tick{K: j, Round: p.attachPer(env, j, to)})
+			}
+		} else {
+			tick := Tick{K: j}
+			if p.attach != nil {
+				tick.Round = p.attach(env, j)
+			}
+			env.Broadcast(tick)
+		}
+		broadcast = true
+	}
+
+	switch m := msg.Payload.(type) {
+	case sim.Wakeup:
+		// Line 2: send (tick 0) to all [once].
+		send(0)
+	case Tick:
+		if m.K < 0 {
+			break // malformed; only Byzantine processes send these
+		}
+		if p.onReceive != nil && m.Round != nil {
+			p.onReceive(msg.From, m.Round)
+		}
+		senders := p.recv[m.K]
+		if senders == nil {
+			senders = make(map[sim.ProcessID]bool)
+			p.recv[m.K] = senders
+		}
+		senders[msg.From] = true
+	}
+
+	// Apply catch-up and advance rules to fixpoint. Multiple rules can be
+	// enabled by one reception (e.g. a catch-up unlocking an advance).
+	for {
+		progressed := false
+
+		// Catch-up rule (line 3): received (tick l) from f+1 distinct
+		// processes with l > k. Apply with the largest such l.
+		best := p.k
+		for l, senders := range p.recv {
+			if l > best && len(senders) >= p.f+1 {
+				best = l
+			}
+		}
+		if best > p.k {
+			for j := p.k + 1; j <= best; j++ {
+				send(j)
+			}
+			p.k = best
+			advanced = true
+			progressed = true
+		}
+
+		// Advance rule (line 6): received (tick k) from n−f distinct
+		// processes.
+		if len(p.recv[p.k]) >= p.n-p.f {
+			send(p.k + 1)
+			p.k++
+			advanced = true
+			progressed = true
+		}
+
+		if !progressed {
+			break
+		}
+	}
+
+	env.SetNote(Note{Clock: p.k, Advanced: advanced, Broadcast: broadcast})
+}
+
+// Spawner returns a sim.Config Spawn function creating Algorithm 1
+// processes.
+func Spawner(n, f int) func(sim.ProcessID) sim.Process {
+	return func(sim.ProcessID) sim.Process { return New(n, f) }
+}
+
+// AllReached returns a sim.Config Until predicate that stops the run once
+// every correct process's clock is at least k. Faulty process IDs are
+// skipped.
+func AllReached(k int, faulty map[sim.ProcessID]sim.Fault) func([]sim.Process) bool {
+	return func(procs []sim.Process) bool {
+		for id, pr := range procs {
+			if _, bad := faulty[sim.ProcessID(id)]; bad {
+				continue
+			}
+			cs, ok := pr.(*Proc)
+			if !ok || cs.Clock() < k {
+				return false
+			}
+		}
+		return true
+	}
+}

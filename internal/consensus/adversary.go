@@ -1,0 +1,75 @@
+package consensus
+
+import (
+	"repro/internal/clocksync"
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// TwoFaced is a Byzantine process that runs Algorithm 1 faithfully — so
+// clock progress and lock-step structure are undisturbed — but equivocates
+// at the round level: it hands different round payloads to different
+// recipients via the per-recipient piggyback. This is the strongest
+// round-level attack available against the consensus layer without
+// desynchronizing ticks.
+type TwoFaced struct {
+	cs *clocksync.Proc
+}
+
+// NewTwoFaced returns an equivocating Byzantine process. payload produces
+// the round r message shown to recipient `to`.
+func NewTwoFaced(m core.Model, n, f int, payload func(r int, to sim.ProcessID) any) *TwoFaced {
+	t := &TwoFaced{cs: clocksync.New(n, f)}
+	x := m.PhasesPerRound()
+	t.cs.SetEquivocatingPiggyback(func(env *sim.Env, j int, to sim.ProcessID) *clocksync.RoundData {
+		if int64(j)%x != 0 {
+			return nil
+		}
+		r := int(int64(j) / x)
+		return &clocksync.RoundData{R: r, Payload: payload(r, to)}
+	}, nil)
+	return t
+}
+
+// Step implements sim.Process.
+func (t *TwoFaced) Step(env *sim.Env, msg sim.Message) { t.cs.Step(env, msg) }
+
+// SplitVotes returns a TwoFaced payload function that tells even-numbered
+// recipients one vote and odd-numbered recipients another — the canonical
+// equivocation against voting algorithms (PhaseKing, FloodSet).
+func SplitVotes(a, b int) func(r int, to sim.ProcessID) any {
+	return func(r int, to sim.ProcessID) any {
+		if to%2 == 0 {
+			return Vote{V: a}
+		}
+		return Vote{V: b}
+	}
+}
+
+// SplitEIG returns a TwoFaced payload function for EIG: it fabricates a
+// full level-r EIG message whose values depend on the recipient's parity.
+func SplitEIG(n int, self sim.ProcessID, a, b int) func(r int, to sim.ProcessID) any {
+	return func(r int, to sim.ProcessID) any {
+		v := a
+		if to%2 == 1 {
+			v = b
+		}
+		msg := EIGMsg{}
+		var build func(label string)
+		build = func(label string) {
+			if len(label) == r {
+				msg[label] = v
+				return
+			}
+			for q := 0; q < n; q++ {
+				id := sim.ProcessID(q)
+				if id == self || containsID(label, id) {
+					continue
+				}
+				build(label + string(rune(q)))
+			}
+		}
+		build("")
+		return msg
+	}
+}

@@ -1,0 +1,101 @@
+// Package consensus solves consensus on top of the lock-step round
+// simulation of internal/lockstep — the paper's headline consequence
+// (Sections 2 and 6): since the ABC model implements lock-step rounds,
+// "any Byzantine fault-tolerant synchronous consensus algorithm" runs
+// unchanged on top.
+//
+// Three classic synchronous algorithms are provided as lockstep.App
+// implementations:
+//
+//   - EIG: exponential information gathering, f+1 rounds, optimal
+//     resilience n >= 3f+1 against Byzantine faults (exponential messages);
+//   - PhaseKing: f+1 phases of two rounds, polynomial messages, resilience
+//     n > 4f against Byzantine faults;
+//   - FloodSet: f+1 rounds against crash faults.
+//
+// The Spec monitors check agreement, validity, and termination over the
+// final process states.
+package consensus
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// Decider is implemented by all consensus apps.
+type Decider interface {
+	Decided() bool
+	Decision() int
+}
+
+// DefaultValue is the fallback decision used by the Byzantine algorithms
+// when no majority exists.
+const DefaultValue = 0
+
+// Spec checks the consensus safety and liveness properties over the final
+// application states. initial maps each correct process to its input.
+type Spec struct {
+	Initial map[sim.ProcessID]int
+	Faults  map[sim.ProcessID]sim.Fault
+}
+
+// Check verifies termination (all correct decided), agreement (equal
+// decisions), and validity (if all correct inputs are equal, that value is
+// decided). apps is indexed by process ID; faulty entries are ignored.
+func (s Spec) Check(apps []Decider) error {
+	decided := make(map[sim.ProcessID]int)
+	for id, app := range apps {
+		p := sim.ProcessID(id)
+		if _, bad := s.Faults[p]; bad {
+			continue
+		}
+		if app == nil || !app.Decided() {
+			return fmt.Errorf("consensus: correct process %d did not decide", id)
+		}
+		decided[p] = app.Decision()
+	}
+	if len(decided) == 0 {
+		return fmt.Errorf("consensus: no correct processes")
+	}
+	var first int
+	var firstSet bool
+	for p, d := range decided {
+		if !firstSet {
+			first, firstSet = d, true
+			continue
+		}
+		if d != first {
+			return fmt.Errorf("consensus: agreement violated: p%d decided %d, others %d", p, d, first)
+		}
+	}
+	// Validity: unanimous correct inputs force the decision.
+	unanimous := true
+	var v int
+	vSet := false
+	for p, in := range s.Initial {
+		if _, bad := s.Faults[p]; bad {
+			continue
+		}
+		if !vSet {
+			v, vSet = in, true
+		} else if in != v {
+			unanimous = false
+		}
+	}
+	if unanimous && vSet && first != v {
+		return fmt.Errorf("consensus: validity violated: unanimous input %d but decided %d", v, first)
+	}
+	return nil
+}
+
+// sortedInts returns a sorted copy, used for canonical set messages.
+func sortedInts(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for v := range m {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}

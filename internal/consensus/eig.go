@@ -1,0 +1,125 @@
+package consensus
+
+import (
+	"repro/internal/sim"
+)
+
+// EIGMsg carries the exponential-information-gathering tree level
+// broadcast each round: label (a sequence of distinct process IDs, encoded
+// one byte per ID) to relayed value.
+type EIGMsg map[string]int
+
+// EIG is exponential information gathering Byzantine consensus: f+1
+// lock-step rounds, n >= 3f+1. After the last round each process resolves
+// its EIG tree bottom-up with strict majorities and decides the root.
+type EIG struct {
+	n, f    int
+	self    sim.ProcessID
+	input   int
+	val     map[string]int // EIG tree: label -> stored value
+	decided bool
+	dec     int
+}
+
+// NewEIG returns an EIG instance with the given input value.
+func NewEIG(n, f, input int) *EIG {
+	return &EIG{n: n, f: f, input: input, val: map[string]int{"": input}}
+}
+
+var _ Decider = (*EIG)(nil)
+
+// Decided implements Decider.
+func (e *EIG) Decided() bool { return e.decided }
+
+// Decision implements Decider.
+func (e *EIG) Decision() int { return e.dec }
+
+// Init implements lockstep.App: round 0 broadcasts the root value.
+func (e *EIG) Init(self sim.ProcessID, n int) any {
+	e.self = self
+	return EIGMsg{"": e.input}
+}
+
+// Round implements lockstep.App. In lock-step round r (1-based), the
+// received round r−1 messages carry level r−1 labels; storing them under
+// label·sender fills tree level r.
+func (e *EIG) Round(r int, received []any) any {
+	if e.decided {
+		return EIGMsg{}
+	}
+	for q, payload := range received {
+		msg, ok := payload.(EIGMsg)
+		if !ok {
+			continue // faulty sender: leave subtree unset (default applies)
+		}
+		for label, v := range msg {
+			if len(label) != r-1 || !validLabel(label, e.n) || containsID(label, sim.ProcessID(q)) {
+				continue
+			}
+			child := label + string(rune(q))
+			if _, dup := e.val[child]; !dup {
+				e.val[child] = v
+			}
+		}
+	}
+	if r == e.f+1 {
+		e.dec = e.resolve("")
+		e.decided = true
+		return EIGMsg{}
+	}
+	// Broadcast level r entries not containing self.
+	out := EIGMsg{}
+	for label, v := range e.val {
+		if len(label) == r && !containsID(label, e.self) {
+			out[label] = v
+		}
+	}
+	return out
+}
+
+// resolve computes newval(label): stored value at the deepest level,
+// otherwise the strict majority of children (DefaultValue when none).
+func (e *EIG) resolve(label string) int {
+	if len(label) == e.f+1 {
+		if v, ok := e.val[label]; ok {
+			return v
+		}
+		return DefaultValue
+	}
+	counts := make(map[int]int)
+	children := 0
+	for q := 0; q < e.n; q++ {
+		if containsID(label, sim.ProcessID(q)) {
+			continue
+		}
+		children++
+		counts[e.resolve(label+string(rune(q)))]++
+	}
+	for v, c := range counts {
+		if 2*c > children {
+			return v
+		}
+	}
+	return DefaultValue
+}
+
+// validLabel reports whether label encodes distinct process IDs < n.
+func validLabel(label string, n int) bool {
+	seen := make(map[rune]bool, len(label))
+	for _, r := range label {
+		if int(r) < 0 || int(r) >= n || seen[r] {
+			return false
+		}
+		seen[r] = true
+	}
+	return true
+}
+
+func containsID(label string, id sim.ProcessID) bool {
+	for _, r := range label {
+		if sim.ProcessID(r) == id {
+			return true
+		}
+	}
+	return false
+}

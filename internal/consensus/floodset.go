@@ -1,0 +1,61 @@
+package consensus
+
+import (
+	"repro/internal/sim"
+)
+
+// SetMsg is a FloodSet round message: the sorted set of values seen.
+type SetMsg []int
+
+// FloodSet is the classic crash-fault consensus: every process floods the
+// set of values it has seen for f+1 rounds, then decides the minimum.
+// With at most f crash faults there is at least one clean round, after
+// which all correct processes hold the same set.
+type FloodSet struct {
+	f       int
+	seen    map[int]bool
+	decided bool
+	dec     int
+}
+
+// NewFloodSet returns a FloodSet instance with the given input.
+func NewFloodSet(f, input int) *FloodSet {
+	return &FloodSet{f: f, seen: map[int]bool{input: true}}
+}
+
+var _ Decider = (*FloodSet)(nil)
+
+// Decided implements Decider.
+func (fs *FloodSet) Decided() bool { return fs.decided }
+
+// Decision implements Decider.
+func (fs *FloodSet) Decision() int { return fs.dec }
+
+// Init implements lockstep.App.
+func (fs *FloodSet) Init(self sim.ProcessID, n int) any {
+	return SetMsg(sortedInts(fs.seen))
+}
+
+// Round implements lockstep.App.
+func (fs *FloodSet) Round(r int, received []any) any {
+	if fs.decided {
+		return SetMsg{}
+	}
+	for _, payload := range received {
+		if s, ok := payload.(SetMsg); ok {
+			for _, v := range s {
+				fs.seen[v] = true
+			}
+		}
+	}
+	if r == fs.f+1 {
+		vals := sortedInts(fs.seen)
+		fs.dec = vals[0]
+		fs.decided = true
+		return SetMsg{}
+	}
+	return SetMsg(sortedInts(fs.seen))
+}
+
+// FloodSetRounds returns the number of lock-step rounds FloodSet needs.
+func FloodSetRounds(f int) int { return f + 1 }

@@ -1,0 +1,107 @@
+package consensus
+
+import (
+	"repro/internal/sim"
+)
+
+// Vote is a phase-king round 1 message.
+type Vote struct{ V int }
+
+// KingWord is the king's round 2 tie-breaker.
+type KingWord struct{ V int }
+
+// Empty is broadcast by non-kings in king rounds (lock-step rounds always
+// broadcast something).
+type Empty struct{}
+
+// PhaseKing is the two-round-per-phase king algorithm (Berman–Garay–Perry
+// style, as presented by Attiya & Welch): f+1 phases, phase k has a vote
+// round and a king round with king = process k−1. It tolerates Byzantine
+// faults for n > 4f with polynomial message complexity — the trade-off
+// against EIG's optimal resilience.
+type PhaseKing struct {
+	n, f    int
+	self    sim.ProcessID
+	pref    int
+	maj     int
+	mult    int
+	decided bool
+	dec     int
+}
+
+// NewPhaseKing returns a phase-king instance with the given input.
+// It panics unless n > 4f.
+func NewPhaseKing(n, f, input int) *PhaseKing {
+	if n <= 4*f {
+		panic("consensus: phase king requires n > 4f")
+	}
+	return &PhaseKing{n: n, f: f, pref: input}
+}
+
+var _ Decider = (*PhaseKing)(nil)
+
+// Decided implements Decider.
+func (p *PhaseKing) Decided() bool { return p.decided }
+
+// Decision implements Decider.
+func (p *PhaseKing) Decision() int { return p.dec }
+
+// Init implements lockstep.App: round 0 is phase 1's vote.
+func (p *PhaseKing) Init(self sim.ProcessID, n int) any {
+	p.self = self
+	return Vote{V: p.pref}
+}
+
+// Round implements lockstep.App. Lock-step round 2k−1 processes phase k's
+// votes and is the king's broadcast; round 2k processes the king word and
+// votes for phase k+1.
+func (p *PhaseKing) Round(r int, received []any) any {
+	if p.decided {
+		return Empty{}
+	}
+	if r%2 == 1 {
+		// Round 2k−1: tally phase k's votes (sent in lock-step round 2k−2).
+		phase := (r + 1) / 2
+		counts := make(map[int]int)
+		for _, payload := range received {
+			if v, ok := payload.(Vote); ok {
+				counts[v.V]++
+			}
+		}
+		p.maj, p.mult = DefaultValue, 0
+		for v, c := range counts {
+			if c > p.mult || (c == p.mult && v < p.maj) {
+				p.maj, p.mult = v, c
+			}
+		}
+		if p.self == sim.ProcessID(phase-1) {
+			return KingWord{V: p.maj}
+		}
+		return Empty{}
+	}
+
+	// Round 2k: apply the king rule and vote for phase k+1 (or decide).
+	phase := r / 2
+	kingVal := DefaultValue
+	if kw, ok := received[phase-1].(KingWord); ok {
+		kingVal = kw.V
+	}
+	if p.mult > p.n/2+p.f {
+		p.pref = p.maj
+	} else {
+		p.pref = kingVal
+	}
+	if phase == p.f+1 {
+		p.decided = true
+		p.dec = p.pref
+		return Empty{}
+	}
+	return Vote{V: p.pref}
+}
+
+// PhaseKingRounds returns the number of lock-step rounds PhaseKing needs
+// to decide: two per phase, f+1 phases.
+func PhaseKingRounds(f int) int { return 2 * (f + 1) }
+
+// EIGRounds returns the number of lock-step rounds EIG needs to decide.
+func EIGRounds(f int) int { return f + 1 }

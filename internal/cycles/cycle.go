@@ -1,0 +1,223 @@
+// Package cycles implements Definitions 2–4 of the ABC paper: causal
+// chains, cycles in the undirected shadow graph of an execution graph,
+// their partition into forward and backward edges, the orientation rule
+// |Z+| <= |Z−|, the relevant/non-relevant classification, and the ABC
+// synchrony condition |Z−|/|Z+| < Ξ. It also provides exhaustive
+// enumeration of simple cycles, which serves as the ground-truth oracle the
+// scalable checker of internal/check is validated against.
+package cycles
+
+import (
+	"fmt"
+
+	"repro/internal/causality"
+	"repro/internal/rat"
+)
+
+// Step is a single edge traversal within a cycle: the edge and whether it
+// is traversed along its direction ("causally forward") or against it.
+type Step struct {
+	Edge    causality.EdgeID
+	Forward bool
+}
+
+// Cycle is a simple cycle in the undirected shadow graph Ĝ of an execution
+// graph: a closed walk with pairwise distinct vertices and a fixed
+// traversal order. Traversal order is bookkeeping only; Definition 3's
+// orientation is computed by Classify.
+type Cycle struct {
+	g     *causality.Graph
+	steps []Step
+}
+
+// NewCycle constructs a cycle over g from traversal steps, validating that
+// the steps form a closed, vertex-simple walk with at least two edges.
+func NewCycle(g *causality.Graph, steps []Step) (Cycle, error) {
+	if len(steps) < 2 {
+		return Cycle{}, fmt.Errorf("cycles: %d steps, need at least 2", len(steps))
+	}
+	seen := make(map[causality.NodeID]bool, len(steps))
+	seenEdge := make(map[causality.EdgeID]bool, len(steps))
+	for i, s := range steps {
+		if seenEdge[s.Edge] {
+			return Cycle{}, fmt.Errorf("cycles: edge %d repeated", s.Edge)
+		}
+		seenEdge[s.Edge] = true
+		start := stepStart(g, s)
+		if seen[start] {
+			return Cycle{}, fmt.Errorf("cycles: vertex %d repeated", start)
+		}
+		seen[start] = true
+		next := steps[(i+1)%len(steps)]
+		if stepEnd(g, s) != stepStart(g, next) {
+			return Cycle{}, fmt.Errorf("cycles: step %d ends at %d, next starts at %d",
+				i, stepEnd(g, s), stepStart(g, next))
+		}
+	}
+	return Cycle{g: g, steps: steps}, nil
+}
+
+// MustCycle is NewCycle, panicking on error.
+func MustCycle(g *causality.Graph, steps []Step) Cycle {
+	c, err := NewCycle(g, steps)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+func stepStart(g *causality.Graph, s Step) causality.NodeID {
+	e := g.Edge(s.Edge)
+	if s.Forward {
+		return e.From
+	}
+	return e.To
+}
+
+func stepEnd(g *causality.Graph, s Step) causality.NodeID {
+	e := g.Edge(s.Edge)
+	if s.Forward {
+		return e.To
+	}
+	return e.From
+}
+
+// Graph returns the execution graph the cycle lives in.
+func (c Cycle) Graph() *causality.Graph { return c.g }
+
+// Steps returns the traversal steps. The caller must not modify them.
+func (c Cycle) Steps() []Step { return c.steps }
+
+// Len returns the number of edges in the cycle.
+func (c Cycle) Len() int { return len(c.steps) }
+
+// Vertices returns the cycle's vertices in traversal order.
+func (c Cycle) Vertices() []causality.NodeID {
+	out := make([]causality.NodeID, len(c.steps))
+	for i, s := range c.steps {
+		out[i] = stepStart(c.g, s)
+	}
+	return out
+}
+
+// Reversed returns the same cycle traversed in the opposite direction.
+func (c Cycle) Reversed() Cycle {
+	rev := make([]Step, len(c.steps))
+	for i, s := range c.steps {
+		rev[len(c.steps)-1-i] = Step{Edge: s.Edge, Forward: !s.Forward}
+	}
+	return Cycle{g: c.g, steps: rev}
+}
+
+// String renders the cycle as a vertex sequence with edge kinds.
+func (c Cycle) String() string {
+	out := ""
+	for i, s := range c.steps {
+		e := c.g.Edge(s.Edge)
+		dir := "→"
+		if !s.Forward {
+			dir = "←"
+		}
+		kind := "m"
+		if e.Kind == causality.Local {
+			kind = "l"
+		}
+		if i > 0 {
+			out += " "
+		}
+		out += fmt.Sprintf("%v %s%s", c.g.Node(stepStart(c.g, s)), dir, kind)
+	}
+	return out
+}
+
+// Class is the Definition 3 classification of a cycle.
+type Class struct {
+	// Relevant is true when all local edges are backward edges under the
+	// Definition 3 orientation.
+	Relevant bool
+	// Forward = |Z+| and Backward = |Z−|: the number of messages in the
+	// forward and backward class under the orientation.
+	Forward, Backward int
+	// LocalForward and LocalBackward count local edges per class.
+	LocalForward, LocalBackward int
+	// OrientationReversed is true when the Definition 3 orientation is
+	// opposite to the cycle's traversal order.
+	OrientationReversed bool
+}
+
+// Ratio returns |Z−| / |Z+|. It panics when |Z+| = 0, which cannot occur
+// for cycles of an execution graph (a cycle with all messages in one
+// direction and all locals backward would be a directed cycle in a DAG).
+func (cl Class) Ratio() rat.Rat {
+	if cl.Forward == 0 {
+		panic("cycles: cycle with |Z+| = 0")
+	}
+	return rat.New(int64(cl.Backward), int64(cl.Forward))
+}
+
+// Classify computes the Definition 3 classification: identically directed
+// edges share a class, the forward class is the one whose message count
+// does not exceed the other's (|Z+| <= |Z−|), and the cycle is relevant
+// when every local edge is a backward edge. When the message counts tie
+// and the locals do not force a side, the orientation with all locals
+// backward is preferred (making the tie relevant), matching the paper's
+// reading that Ẑ+ = Z+ must be achievable.
+func Classify(c Cycle) Class {
+	var msgWith, msgAgainst, locWith, locAgainst int
+	for _, s := range c.steps {
+		e := c.g.Edge(s.Edge)
+		switch {
+		case e.Kind == causality.Message && s.Forward:
+			msgWith++
+		case e.Kind == causality.Message && !s.Forward:
+			msgAgainst++
+		case e.Kind == causality.Local && s.Forward:
+			locWith++
+		default:
+			locAgainst++
+		}
+	}
+
+	// Candidate orientation A: traversal order (forward = traversed-with).
+	// Candidate orientation B: reversed.
+	aValid := msgWith <= msgAgainst
+	bValid := msgAgainst <= msgWith
+	aRelevant := aValid && locWith == 0
+	bRelevant := bValid && locAgainst == 0
+
+	switch {
+	case aRelevant:
+		return Class{
+			Relevant: true, Forward: msgWith, Backward: msgAgainst,
+			LocalForward: locWith, LocalBackward: locAgainst,
+		}
+	case bRelevant:
+		return Class{
+			Relevant: true, Forward: msgAgainst, Backward: msgWith,
+			LocalForward: locAgainst, LocalBackward: locWith,
+			OrientationReversed: true,
+		}
+	case aValid:
+		return Class{
+			Relevant: false, Forward: msgWith, Backward: msgAgainst,
+			LocalForward: locWith, LocalBackward: locAgainst,
+		}
+	default:
+		return Class{
+			Relevant: false, Forward: msgAgainst, Backward: msgWith,
+			LocalForward: locAgainst, LocalBackward: locWith,
+			OrientationReversed: true,
+		}
+	}
+}
+
+// Satisfies reports whether the cycle satisfies the ABC synchrony
+// condition for the given Ξ: non-relevant cycles always do; relevant
+// cycles require |Z−|/|Z+| < Ξ (Definition 4).
+func Satisfies(c Cycle, xi rat.Rat) bool {
+	cl := Classify(c)
+	if !cl.Relevant {
+		return true
+	}
+	return cl.Ratio().Less(xi)
+}

@@ -1,0 +1,287 @@
+package cycles
+
+import (
+	"testing"
+
+	"repro/internal/causality"
+	"repro/internal/rat"
+	"repro/internal/scenario"
+	"repro/internal/sim"
+)
+
+// findCycleThrough returns all enumerated cycles containing the given node.
+func cyclesThrough(t *testing.T, g *causality.Graph, n causality.NodeID) []Cycle {
+	t.Helper()
+	all, complete := Enumerate(g, 10000)
+	if !complete {
+		t.Fatal("enumeration truncated")
+	}
+	var out []Cycle
+	for _, c := range all {
+		for _, v := range c.Vertices() {
+			if v == n {
+				out = append(out, c)
+				break
+			}
+		}
+	}
+	return out
+}
+
+func TestFig1RelevantCycle(t *testing.T) {
+	fig := scenario.BuildFig1()
+	all, complete := Enumerate(fig.Graph, 1000)
+	if !complete {
+		t.Fatal("enumeration truncated")
+	}
+	if len(all) != 1 {
+		t.Fatalf("Fig.1 graph has %d cycles, want exactly 1", len(all))
+	}
+	cl := Classify(all[0])
+	if !cl.Relevant {
+		t.Fatal("Fig.1 cycle classified non-relevant")
+	}
+	if cl.Forward != 4 || cl.Backward != 5 {
+		t.Errorf("|Z+|=%d |Z−|=%d, want 4, 5", cl.Forward, cl.Backward)
+	}
+	if got := cl.Ratio(); !got.Equal(rat.New(5, 4)) {
+		t.Errorf("ratio = %v, want 5/4", got)
+	}
+	// Admissible exactly for Ξ > 5/4.
+	if !Satisfies(all[0], rat.FromInt(2)) {
+		t.Error("Fig.1 cycle should satisfy Ξ=2")
+	}
+	if Satisfies(all[0], rat.New(5, 4)) {
+		t.Error("Fig.1 cycle must violate Ξ=5/4 (strict inequality)")
+	}
+	if Satisfies(all[0], rat.New(6, 5)) {
+		t.Error("Fig.1 cycle must violate Ξ=6/5")
+	}
+}
+
+func TestFig3ViolatingRelevantCycle(t *testing.T) {
+	fig := scenario.BuildFig3()
+	through := cyclesThrough(t, fig.Graph, fig.PhiReply)
+	if len(through) == 0 {
+		t.Fatal("no cycle through the late-reply event")
+	}
+	// The cycle through the full 4-message chain is relevant with ratio
+	// 4/2 = 2, violating Ξ = 2.
+	var worst rat.Rat
+	for _, c := range through {
+		cl := Classify(c)
+		if cl.Relevant && cl.Ratio().Greater(worst) {
+			worst = cl.Ratio()
+		}
+	}
+	if !worst.Equal(rat.FromInt(2)) {
+		t.Errorf("worst relevant ratio through reply = %v, want 2", worst)
+	}
+	// Hence with Ξ=2 some relevant cycle violates the condition.
+	violated := false
+	for _, c := range through {
+		if !Satisfies(c, rat.FromInt(2)) {
+			violated = true
+		}
+	}
+	if !violated {
+		t.Error("Fig.3 late reply does not violate Ξ=2")
+	}
+}
+
+func TestFig4NonRelevantCycle(t *testing.T) {
+	fig := scenario.BuildFig4()
+	// All cycles closed by ψ (through the timely reply pattern) satisfy
+	// any Ξ: the cycle N is non-relevant.
+	all, complete := Enumerate(fig.Graph, 1000)
+	if !complete {
+		t.Fatal("enumeration truncated")
+	}
+	for _, c := range all {
+		if !Satisfies(c, rat.FromInt(2)) {
+			t.Errorf("Fig.4 cycle violates Ξ=2: %v", c)
+		}
+	}
+	// And there exists a non-relevant cycle through both φ and ψ.
+	foundN := false
+	for _, c := range all {
+		hasPhi, hasPsi := false, false
+		for _, v := range c.Vertices() {
+			if v == fig.Phi {
+				hasPhi = true
+			}
+			if v == fig.Psi {
+				hasPsi = true
+			}
+		}
+		if hasPhi && hasPsi && !Classify(c).Relevant {
+			foundN = true
+		}
+	}
+	if !foundN {
+		t.Error("non-relevant cycle N through φ and ψ not found")
+	}
+}
+
+func TestNewCycleValidation(t *testing.T) {
+	fig := scenario.BuildFig1()
+	g := fig.Graph
+	all, _ := Enumerate(g, 10)
+	c := all[0]
+
+	// Valid round-trip through NewCycle.
+	if _, err := NewCycle(g, c.Steps()); err != nil {
+		t.Errorf("valid cycle rejected: %v", err)
+	}
+	// Too short.
+	if _, err := NewCycle(g, c.Steps()[:1]); err == nil {
+		t.Error("1-step cycle accepted")
+	}
+	// Broken chain: reverse one interior step.
+	bad := make([]Step, c.Len())
+	copy(bad, c.Steps())
+	bad[1].Forward = !bad[1].Forward
+	if _, err := NewCycle(g, bad); err == nil {
+		t.Error("broken walk accepted")
+	}
+	// Repeated edge.
+	dup := append([]Step{}, c.Steps()...)
+	dup[len(dup)-1] = dup[0]
+	if _, err := NewCycle(g, dup); err == nil {
+		t.Error("repeated edge accepted")
+	}
+}
+
+func TestMustCyclePanics(t *testing.T) {
+	fig := scenario.BuildFig1()
+	defer func() {
+		if recover() == nil {
+			t.Error("MustCycle did not panic")
+		}
+	}()
+	MustCycle(fig.Graph, nil)
+}
+
+func TestReversedClassificationInvariant(t *testing.T) {
+	// Classification is invariant under traversal reversal (the orientation
+	// is intrinsic, per Definition 3).
+	fig := scenario.BuildFig3()
+	all, _ := Enumerate(fig.Graph, 1000)
+	for _, c := range all {
+		a, b := Classify(c), Classify(c.Reversed())
+		if a.Relevant != b.Relevant || a.Forward != b.Forward || a.Backward != b.Backward {
+			t.Errorf("classification not reversal-invariant: %+v vs %+v for %v", a, b, c)
+		}
+	}
+}
+
+func TestTwoCycleParallelEdges(t *testing.T) {
+	// A self-message delivered as the process's next event creates a
+	// message edge parallel to a local edge — the smallest possible cycle.
+	b := sim.NewTraceBuilder(1)
+	b.Wake(0, rat.Zero)
+	b.MsgAt(0, 0, 0, 1, "self")
+	tr := b.MustBuild()
+	g := causality.Build(tr, causality.Options{})
+	all, complete := Enumerate(g, 10)
+	if !complete || len(all) != 1 {
+		t.Fatalf("got %d cycles, want 1", len(all))
+	}
+	c := all[0]
+	if c.Len() != 2 {
+		t.Fatalf("cycle length %d, want 2", c.Len())
+	}
+	cl := Classify(c)
+	// One message and one local edge, identically directed. Definition 3
+	// picks the orientation with fewer messages as forward — the local
+	// edge's side (0 messages vs 1) — so the local edge is a forward edge
+	// and the cycle is non-relevant. This is exactly right: a local chain
+	// spanning a message chain only says the messages were fast, which the
+	// ABC model never constrains.
+	if cl.Relevant {
+		t.Error("parallel message/local 2-cycle must be non-relevant")
+	}
+	if cl.Forward != 0 || cl.Backward != 1 {
+		t.Errorf("|Z+|=%d |Z−|=%d, want 0, 1", cl.Forward, cl.Backward)
+	}
+	if !Satisfies(c, rat.New(3, 2)) {
+		t.Error("non-relevant cycle must satisfy any Ξ")
+	}
+}
+
+func TestEnumerateLimit(t *testing.T) {
+	fig := scenario.BuildFig3()
+	_, complete := Enumerate(fig.Graph, 1)
+	// Fig. 3's graph has several cycles; limit 1 must truncate.
+	if complete {
+		t.Error("limit did not truncate enumeration")
+	}
+}
+
+func TestEnumerateEmptyAndAcyclic(t *testing.T) {
+	b := sim.NewTraceBuilder(2)
+	b.WakeAll(rat.Zero)
+	b.MsgAt(0, 0, 1, 1, nil)
+	g := causality.Build(b.MustBuild(), causality.Options{})
+	all, complete := Enumerate(g, 100)
+	if !complete || len(all) != 0 {
+		t.Errorf("acyclic graph: %d cycles, complete=%v", len(all), complete)
+	}
+}
+
+func TestVerticesAndString(t *testing.T) {
+	fig := scenario.BuildFig1()
+	all, _ := Enumerate(fig.Graph, 10)
+	c := all[0]
+	vs := c.Vertices()
+	if len(vs) != c.Len() {
+		t.Errorf("Vertices length %d != cycle length %d", len(vs), c.Len())
+	}
+	if c.String() == "" {
+		t.Error("empty String()")
+	}
+	if c.Graph() != fig.Graph {
+		t.Error("Graph accessor wrong")
+	}
+}
+
+// Structural invariant from DESIGN.md: every cycle of an execution graph
+// contains at least one local edge, hence |Z+| >= 1 for relevant cycles.
+func TestEveryCycleHasLocalEdge(t *testing.T) {
+	res, err := sim.Run(sim.Config{
+		N: 3,
+		Spawn: func(p sim.ProcessID) sim.Process {
+			return sim.ProcessFunc(func(env *sim.Env, msg sim.Message) {
+				if env.StepIndex() < 4 {
+					env.Broadcast(env.StepIndex())
+				}
+			})
+		},
+		Delays: sim.UniformDelay{Min: rat.One, Max: rat.FromInt(2)},
+		Seed:   3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := causality.Build(res.Trace, causality.Options{})
+	all, complete := Enumerate(g, 50000)
+	if !complete {
+		t.Skip("too many cycles to enumerate")
+	}
+	for _, c := range all {
+		hasLocal := false
+		for _, s := range c.Steps() {
+			if g.Edge(s.Edge).Kind == causality.Local {
+				hasLocal = true
+				break
+			}
+		}
+		if !hasLocal {
+			t.Fatalf("cycle without local edge: %v", c)
+		}
+		cl := Classify(c)
+		if cl.Relevant && cl.Forward == 0 {
+			t.Fatalf("relevant cycle with |Z+| = 0: %v", c)
+		}
+	}
+}

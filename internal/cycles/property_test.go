@@ -1,0 +1,116 @@
+package cycles
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/causality"
+	"repro/internal/rat"
+	"repro/internal/sim"
+)
+
+func smallGraph(seed int64) *causality.Graph {
+	if seed < 0 {
+		seed = -seed
+	}
+	res, err := sim.Run(sim.Config{
+		N: 3,
+		Spawn: func(p sim.ProcessID) sim.Process {
+			return sim.ProcessFunc(func(env *sim.Env, msg sim.Message) {
+				if env.StepIndex() < 2+int(seed%2) {
+					env.Broadcast(env.StepIndex())
+				}
+			})
+		},
+		Delays: sim.UniformDelay{Min: rat.One, Max: rat.FromInt(2)},
+		Seed:   seed,
+	})
+	if err != nil {
+		panic(err)
+	}
+	return causality.Build(res.Trace, causality.Options{})
+}
+
+// canonical returns a canonical string key for a cycle's edge set.
+func canonical(c Cycle) string {
+	ids := make([]int, c.Len())
+	for i, s := range c.Steps() {
+		ids[i] = int(s.Edge)
+	}
+	sort.Ints(ids)
+	out := ""
+	for _, id := range ids {
+		out += string(rune(id)) + ","
+	}
+	return out
+}
+
+// Property: enumeration yields each simple cycle exactly once (no
+// duplicate edge sets — a simple cycle is determined by its edge set).
+func TestEnumerationUniqueProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		g := smallGraph(seed)
+		all, complete := Enumerate(g, 30000)
+		if !complete {
+			return true // skip dense graphs
+		}
+		seen := make(map[string]bool, len(all))
+		for _, c := range all {
+			k := canonical(c)
+			if seen[k] {
+				return false
+			}
+			seen[k] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every enumerated cycle is a valid vertex-simple closed walk
+// (NewCycle accepts its own output).
+func TestEnumerationValidityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		g := smallGraph(seed)
+		all, complete := Enumerate(g, 30000)
+		if !complete {
+			return true
+		}
+		for _, c := range all {
+			if _, err := NewCycle(g, c.Steps()); err != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: classification is stable under cyclic rotation of the step
+// sequence.
+func TestClassificationRotationInvariantProperty(t *testing.T) {
+	f := func(seed int64, rot uint8) bool {
+		g := smallGraph(seed)
+		all, complete := Enumerate(g, 5000)
+		if !complete || len(all) == 0 {
+			return true
+		}
+		c := all[int(rot)%len(all)]
+		k := 1 + int(rot)%c.Len()
+		steps := append(append([]Step{}, c.Steps()[k:]...), c.Steps()[:k]...)
+		rotated, err := NewCycle(g, steps)
+		if err != nil {
+			return false
+		}
+		a, b := Classify(c), Classify(rotated)
+		return a.Relevant == b.Relevant && a.Forward == b.Forward && a.Backward == b.Backward
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

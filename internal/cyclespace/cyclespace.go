@@ -1,0 +1,283 @@
+// Package cyclespace implements the non-standard cycle space of Section 4.1
+// of the ABC paper: cycle vectors over the messages of an execution graph,
+// the cycle addition ⊕, the consistency notions of Definition 10
+// (i-consistent / o-consistent), the mixed-edge removal of Lemma 8, and the
+// sum properties (Lemma 7, Corollary 1/Lemma 11) that drive the Farkas
+// argument behind Theorem 7.
+//
+// The space differs from the classical graph-theoretic cycle space: cycles
+// live in the undirected shadow graph but coefficients remember edge
+// orientation relative to the cycle's Definition 3 orientation — backward
+// messages contribute +1 and forward messages −1.
+package cyclespace
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/causality"
+	"repro/internal/cycles"
+	"repro/internal/rat"
+)
+
+// Vector is a sparse cycle-space element: a map from message edge ID to an
+// integer coefficient. Plain cycles have coefficients in {−1, +1};
+// combinations may have arbitrary integers (multi-edges).
+type Vector map[causality.EdgeID]int64
+
+// SignVector returns the signed incidence vector of a cycle: +1 for each
+// backward message (e ∈ Z−), −1 for each forward message (e ∈ Z+), under
+// the cycle's Definition 3 orientation. Local edges do not appear.
+func SignVector(c cycles.Cycle) Vector {
+	cl := cycles.Classify(c)
+	v := make(Vector)
+	for _, s := range c.Steps() {
+		e := c.Graph().Edge(s.Edge)
+		if e.Kind != causality.Message {
+			continue
+		}
+		// Under traversal order, forward steps are the "with" class; the
+		// Definition 3 orientation may be the reverse of traversal order.
+		forward := s.Forward != cl.OrientationReversed
+		if forward {
+			v[s.Edge] = -1
+		} else {
+			v[s.Edge] = +1
+		}
+	}
+	return v
+}
+
+// RowVector returns the coefficient row this cycle contributes to the
+// linear system Ax < b of Fig. 6: the SignVector for relevant cycles and
+// its negation for non-relevant cycles (the paper's "sign-flipped version
+// of (6)"). Fig. 7's z1 and z2 are RowVectors.
+func RowVector(c cycles.Cycle) Vector {
+	v := SignVector(c)
+	if !cycles.Classify(c).Relevant {
+		for e := range v {
+			v[e] = -v[e]
+		}
+	}
+	return v
+}
+
+// Add returns the coefficient-wise sum of vectors (the ⊕ of cycle-space
+// elements, at the vector level). Coefficients that cancel to zero are
+// removed.
+func Add(vs ...Vector) Vector {
+	out := make(Vector)
+	for _, v := range vs {
+		for e, c := range v {
+			out[e] += c
+			if out[e] == 0 {
+				delete(out, e)
+			}
+		}
+	}
+	return out
+}
+
+// Scale returns v multiplied by the non-negative integer λ.
+func Scale(v Vector, lambda int64) Vector {
+	if lambda < 0 {
+		panic("cyclespace: negative coefficient in non-negative combination")
+	}
+	out := make(Vector, len(v))
+	if lambda == 0 {
+		return out
+	}
+	for e, c := range v {
+		out[e] = c * lambda
+	}
+	return out
+}
+
+// Sums returns s+ (the sum of all negative coefficients, a non-positive
+// number) and s− (the sum of all non-negative coefficients), following the
+// paper's convention around Equation (9).
+func (v Vector) Sums() (sPlus, sMinus int64) {
+	for _, c := range v {
+		if c < 0 {
+			sPlus += c
+		} else {
+			sMinus += c
+		}
+	}
+	return sPlus, sMinus
+}
+
+// SatisfiesSumProperty reports whether Ξ·s+ + s− < 0 (Equation (9)): the
+// inequality every canonical Farkas combination must satisfy. For a vector
+// representing a single relevant cycle it is equivalent to the ABC
+// synchrony condition |Z−|/|Z+| < Ξ.
+func (v Vector) SatisfiesSumProperty(xi rat.Rat) bool {
+	sPlus, sMinus := v.Sums()
+	lhs := xi.MulInt(sPlus).Add(rat.FromInt(sMinus))
+	return lhs.Sign() < 0
+}
+
+// Consistency is the Definition 10 relation between two cycles.
+type Consistency int
+
+// Consistency values.
+const (
+	// Inconsistent: some shared messages identically and some oppositely
+	// oriented.
+	Inconsistent Consistency = iota
+	// IConsistent: disjoint, or all shared messages identically oriented.
+	IConsistent
+	// OConsistent: all shared messages oppositely oriented.
+	OConsistent
+)
+
+func (c Consistency) String() string {
+	switch c {
+	case Inconsistent:
+		return "inconsistent"
+	case IConsistent:
+		return "i-consistent"
+	case OConsistent:
+		return "o-consistent"
+	default:
+		return fmt.Sprintf("Consistency(%d)", int(c))
+	}
+}
+
+// Consistent classifies the pair (Z1, Z2) per Definition 10, comparing the
+// orientations of shared messages. Disjoint cycles are i-consistent by
+// definition.
+func Consistent(z1, z2 cycles.Cycle) Consistency {
+	v1, v2 := SignVector(z1), SignVector(z2)
+	sawSame, sawOpposite := false, false
+	for e, c1 := range v1 {
+		c2, ok := v2[e]
+		if !ok {
+			continue
+		}
+		if c1*c2 > 0 {
+			sawSame = true
+		} else {
+			sawOpposite = true
+		}
+	}
+	switch {
+	case sawSame && sawOpposite:
+		return Inconsistent
+	case sawOpposite:
+		return OConsistent
+	default:
+		return IConsistent
+	}
+}
+
+// ErrDoubleEdge is returned by AddCycles when the two cycles share an
+// identically traversed edge, so their sum contains a double edge and is
+// not a union of plain cycles.
+var ErrDoubleEdge = errors.New("cyclespace: cycle sum contains a double edge")
+
+// AddCycles computes Z1 ⊕ Z2 at the subgraph level (Lemma 8's operation):
+// shared edges traversed oppositely cancel, and the remaining edge set is
+// decomposed into edge-disjoint simple cycles — for o-consistent cycles
+// whose common chains consist of oppositely oriented edges these are the
+// disjoint cycles M1, ..., Mn of Lemma 8. Identically traversed shared
+// edges yield ErrDoubleEdge.
+func AddCycles(z1, z2 cycles.Cycle) ([]cycles.Cycle, error) {
+	g := z1.Graph()
+	if g != z2.Graph() {
+		return nil, errors.New("cyclespace: cycles from different graphs")
+	}
+	// Collect surviving steps: cancel opposite traversals of shared edges.
+	traversal := make(map[causality.EdgeID]bool, z1.Len()+z2.Len()) // edge -> Forward
+	for _, s := range z1.Steps() {
+		traversal[s.Edge] = s.Forward
+	}
+	for _, s := range z2.Steps() {
+		if dir, ok := traversal[s.Edge]; ok {
+			if dir == s.Forward {
+				return nil, ErrDoubleEdge
+			}
+			delete(traversal, s.Edge) // oppositely traversed: cancels
+			continue
+		}
+		traversal[s.Edge] = s.Forward
+	}
+
+	// The surviving steps are in/out balanced at every vertex: a cycle is a
+	// balanced oriented closed walk, and each cancellation removes one
+	// in-step and one out-step at each endpoint. Decompose them into
+	// vertex-simple cycles by an Eulerian walk that splits off a cycle
+	// whenever a vertex repeats.
+	endpoints := func(s cycles.Step) (from, to causality.NodeID) {
+		e := g.Edge(s.Edge)
+		if s.Forward {
+			return e.From, e.To
+		}
+		return e.To, e.From
+	}
+	unused := make(map[causality.NodeID][]cycles.Step)
+	remaining := 0
+	for e, fwd := range traversal {
+		s := cycles.Step{Edge: e, Forward: fwd}
+		from, _ := endpoints(s)
+		unused[from] = append(unused[from], s)
+		remaining++
+	}
+
+	var out []cycles.Cycle
+	emit := func(steps []cycles.Step) error {
+		c, err := cycles.NewCycle(g, steps)
+		if err != nil {
+			return fmt.Errorf("cyclespace: %w", err)
+		}
+		out = append(out, c)
+		return nil
+	}
+
+	for remaining > 0 {
+		// Deterministic start: smallest vertex with unused out-steps.
+		start := causality.NodeID(-1)
+		for v, ss := range unused {
+			if len(ss) > 0 && (start == -1 || v < start) {
+				start = v
+			}
+		}
+		var path []cycles.Step
+		pos := map[causality.NodeID]int{start: 0} // vertex -> its index as a step start (len(path) = head)
+		cur := start
+		for {
+			ss := unused[cur]
+			if len(ss) == 0 {
+				if len(path) != 0 {
+					return nil, fmt.Errorf("cyclespace: unbalanced vertex %d in cycle sum", cur)
+				}
+				delete(unused, cur)
+				break
+			}
+			s := ss[len(ss)-1]
+			unused[cur] = ss[:len(ss)-1]
+			remaining--
+			_, to := endpoints(s)
+			path = append(path, s)
+			if at, seen := pos[to]; seen {
+				// Split off the vertex-simple cycle path[at:].
+				sub := make([]cycles.Step, len(path)-at)
+				copy(sub, path[at:])
+				if err := emit(sub); err != nil {
+					return nil, err
+				}
+				for _, st := range sub {
+					from, _ := endpoints(st)
+					delete(pos, from)
+				}
+				path = path[:at]
+				pos[to] = at // head again
+				cur = to
+				continue
+			}
+			pos[to] = len(path)
+			cur = to
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,284 @@
+package cyclespace
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/causality"
+	"repro/internal/check"
+	"repro/internal/cycles"
+	"repro/internal/rat"
+	"repro/internal/scenario"
+	"repro/internal/sim"
+)
+
+// fig2Cycles materializes the X and Y cycles of Fig. 2 as Cycle values.
+func fig2Cycles(t *testing.T) (fig scenario.Fig2, x, y cycles.Cycle) {
+	t.Helper()
+	fig = scenario.BuildFig2()
+	x = cycles.MustCycle(fig.Graph, []cycles.Step{
+		{Edge: fig.X[0], Forward: true},  // e
+		{Edge: fig.X[1], Forward: false}, // local at p
+		{Edge: fig.X[2], Forward: false}, // m2
+		{Edge: fig.X[3], Forward: false}, // m1
+	})
+	y = cycles.MustCycle(fig.Graph, []cycles.Step{
+		{Edge: fig.Y[0], Forward: true},  // m4
+		{Edge: fig.Y[1], Forward: false}, // local at r
+		{Edge: fig.Y[2], Forward: false}, // m3
+		{Edge: fig.Y[3], Forward: false}, // e
+	})
+	return fig, x, y
+}
+
+func TestFig2CyclesRelevant(t *testing.T) {
+	_, x, y := fig2Cycles(t)
+	for name, c := range map[string]cycles.Cycle{"X": x, "Y": y} {
+		cl := cycles.Classify(c)
+		if !cl.Relevant {
+			t.Errorf("%s not relevant", name)
+		}
+		if cl.Forward != 1 || cl.Backward != 2 {
+			t.Errorf("%s: |Z+|=%d |Z−|=%d, want 1, 2", name, cl.Forward, cl.Backward)
+		}
+	}
+}
+
+func TestSignVectorFig2(t *testing.T) {
+	fig, x, y := fig2Cycles(t)
+	vx, vy := SignVector(x), SignVector(y)
+	// e is forward in X (coefficient −1) and backward in Y (+1).
+	if vx[fig.E] != -1 {
+		t.Errorf("X coefficient of e = %d, want -1", vx[fig.E])
+	}
+	if vy[fig.E] != +1 {
+		t.Errorf("Y coefficient of e = %d, want +1", vy[fig.E])
+	}
+	// X: backward messages m1, m2 get +1.
+	if vx[fig.X[2]] != 1 || vx[fig.X[3]] != 1 {
+		t.Errorf("X backward coefficients: m2=%d m1=%d, want 1, 1", vx[fig.X[2]], vx[fig.X[3]])
+	}
+}
+
+func TestAddCancelsSharedEdge(t *testing.T) {
+	fig, x, y := fig2Cycles(t)
+	sum := Add(SignVector(x), SignVector(y))
+	if _, ok := sum[fig.E]; ok {
+		t.Error("e did not cancel in X ⊕ Y")
+	}
+	// 5 messages remain (m1..m4 and m3).
+	if len(sum) != 4 {
+		t.Errorf("X ⊕ Y has %d message coefficients, want 4", len(sum))
+	}
+}
+
+func TestConsistency(t *testing.T) {
+	_, x, y := fig2Cycles(t)
+	if got := Consistent(x, y); got != OConsistent {
+		t.Errorf("X vs Y: %v, want o-consistent", got)
+	}
+	if got := Consistent(x, x); got != IConsistent {
+		t.Errorf("X vs X: %v, want i-consistent", got)
+	}
+	if OConsistent.String() != "o-consistent" || IConsistent.String() != "i-consistent" ||
+		Inconsistent.String() != "inconsistent" {
+		t.Error("Consistency String() wrong")
+	}
+}
+
+func TestAddCyclesFig2(t *testing.T) {
+	fig, x, y := fig2Cycles(t)
+	ms, err := AddCycles(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 1 {
+		t.Fatalf("X ⊕ Y decomposed into %d cycles, want 1", len(ms))
+	}
+	m := ms[0]
+	// The combined cycle has all 6 edges except e.
+	if m.Len() != 6 {
+		t.Errorf("combined cycle has %d edges, want 6", m.Len())
+	}
+	for _, s := range m.Steps() {
+		if s.Edge == fig.E {
+			t.Error("combined cycle still contains e")
+		}
+	}
+	// It is relevant with ratio 3/1 — worse than its constituents' 2/1.
+	cl := cycles.Classify(m)
+	if !cl.Relevant || !cl.Ratio().Equal(rat.FromInt(3)) {
+		t.Errorf("combined cycle: relevant=%v ratio=%v, want relevant ratio 3", cl.Relevant, cl.Ratio())
+	}
+	// Its vector equals the vector sum.
+	if got, want := SignVector(m), Add(SignVector(x), SignVector(y)); !vectorsEqual(got, want) {
+		t.Errorf("SignVector(X⊕Y) = %v, want %v", got, want)
+	}
+	// And i-consistent with both constituents (Lemma 8).
+	if Consistent(m, x) != IConsistent || Consistent(m, y) != IConsistent {
+		t.Error("X ⊕ Y not i-consistent with constituents")
+	}
+}
+
+func vectorsEqual(a, b Vector) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for e, c := range a {
+		if b[e] != c {
+			return false
+		}
+	}
+	return true
+}
+
+func TestAddCyclesDoubleEdge(t *testing.T) {
+	_, x, _ := fig2Cycles(t)
+	if _, err := AddCycles(x, x); err != ErrDoubleEdge {
+		t.Errorf("X ⊕ X error = %v, want ErrDoubleEdge", err)
+	}
+}
+
+func TestRowVectorSignFlip(t *testing.T) {
+	// A non-relevant cycle's row vector is the negated sign vector.
+	fig := scenario.BuildFig4()
+	all, _ := cycles.Enumerate(fig.Graph, 1000)
+	for _, c := range all {
+		sv, rv := SignVector(c), RowVector(c)
+		relevant := cycles.Classify(c).Relevant
+		for e := range sv {
+			want := sv[e]
+			if !relevant {
+				want = -want
+			}
+			if rv[e] != want {
+				t.Fatalf("RowVector mismatch on edge %d (relevant=%v)", e, relevant)
+			}
+		}
+	}
+}
+
+func TestScale(t *testing.T) {
+	_, x, _ := fig2Cycles(t)
+	v := SignVector(x)
+	tr := Scale(v, 3)
+	for e, c := range v {
+		if tr[e] != 3*c {
+			t.Errorf("Scale: edge %d = %d, want %d", e, tr[e], 3*c)
+		}
+	}
+	if len(Scale(v, 0)) != 0 {
+		t.Error("Scale by 0 not empty")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("negative Scale did not panic")
+		}
+	}()
+	Scale(v, -1)
+}
+
+func TestSumsConvention(t *testing.T) {
+	v := Vector{1: -2, 2: 3, 3: -1, 4: 4}
+	sPlus, sMinus := v.Sums()
+	if sPlus != -3 || sMinus != 7 {
+		t.Errorf("Sums = %d, %d, want -3, 7", sPlus, sMinus)
+	}
+}
+
+// Lemma 7 (non-relevant sum property): any non-negative combination s_N of
+// non-relevant row vectors satisfies Ξ·s− + s+ < 0 where the roles are the
+// restrictions — equivalently, with row vectors, Ξ·s+ + s− < 0.
+func TestLemma7NonRelevantSums(t *testing.T) {
+	figs := []*causality.Graph{scenario.BuildFig4().Graph, scenario.BuildFig2().Graph}
+	xi := rat.FromInt(2)
+	rng := rand.New(rand.NewSource(1))
+	for _, g := range figs {
+		all, _ := cycles.Enumerate(g, 1000)
+		var nonRel []Vector
+		for _, c := range all {
+			if !cycles.Classify(c).Relevant {
+				nonRel = append(nonRel, RowVector(c))
+			}
+		}
+		if len(nonRel) == 0 {
+			continue
+		}
+		for trial := 0; trial < 50; trial++ {
+			var parts []Vector
+			for _, v := range nonRel {
+				parts = append(parts, Scale(v, int64(rng.Intn(4))))
+			}
+			sum := Add(parts...)
+			if len(sum) == 0 {
+				continue
+			}
+			if !sum.SatisfiesSumProperty(xi) {
+				t.Fatalf("non-relevant combination violates (9): %v", sum)
+			}
+		}
+	}
+}
+
+// Corollary 1 / Lemma 11 (relevant sum property): in a Ξ-admissible graph,
+// every non-negative integer combination of relevant cycle vectors
+// satisfies Ξ·s+ + s− < 0 — i.e. the combined "cycle" still respects the
+// ABC synchrony condition. This is the empirical counterpart of the
+// mixed-free decomposition (Theorem 11).
+func TestCorollary1RelevantSums(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for seed := int64(0); seed < 8; seed++ {
+		res, err := sim.Run(sim.Config{
+			N: 3,
+			Spawn: func(p sim.ProcessID) sim.Process {
+				return sim.ProcessFunc(func(env *sim.Env, msg sim.Message) {
+					if env.StepIndex() < 3 {
+						env.Broadcast(env.StepIndex())
+					}
+				})
+			},
+			Delays: sim.UniformDelay{Min: rat.One, Max: rat.New(5, 4)},
+			Seed:   seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := causality.Build(res.Trace, causality.Options{})
+		// Find the smallest Ξ for which g is admissible, then use a
+		// slightly larger one.
+		maxR, found, err := check.MaxRelevantRatio(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		xi := rat.FromInt(2)
+		if found {
+			xi = maxR.Add(rat.New(1, 10))
+		}
+		all, complete := cycles.Enumerate(g, 20000)
+		if !complete {
+			continue
+		}
+		var rel []Vector
+		for _, c := range all {
+			if cycles.Classify(c).Relevant {
+				rel = append(rel, SignVector(c))
+			}
+		}
+		if len(rel) == 0 {
+			continue
+		}
+		for trial := 0; trial < 30; trial++ {
+			var parts []Vector
+			for _, v := range rel {
+				parts = append(parts, Scale(v, int64(rng.Intn(3))))
+			}
+			sum := Add(parts...)
+			if len(sum) == 0 {
+				continue
+			}
+			if !sum.SatisfiesSumProperty(xi) {
+				t.Fatalf("seed %d: relevant combination violates (9) at Ξ=%v: %v", seed, xi, sum)
+			}
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package detector
+
+import (
+	"repro/internal/sim"
+)
+
+// LeaderMsg disseminates a core member's current leader choice.
+type LeaderMsg struct{ Leader sim.ProcessID }
+
+// OmegaCore is a member of the f+2 core implementing the Ω sketch of
+// Section 6 for crash faults: in repeated phases it queries all other core
+// members and runs timeout chains with each of them in parallel; when any
+// single chain reaches ⌈2Ξ⌉ messages the phase ends, members that did not
+// reply are suspected permanently, the smallest unsuspected core id is
+// chosen as leader, and the choice is broadcast to the whole system.
+//
+// Because crashes are permanent and the Fig. 3 accuracy argument applies
+// per phase, suspicion is perfect; once the last crash has happened, every
+// later phase elects the same correct leader at every correct core member.
+type OmegaCore struct {
+	Core     []sim.ProcessID // the f+2 core members, including self
+	ChainLen int
+	MaxPhase int // stop starting new phases after this many (keeps runs finite)
+
+	self      sim.ProcessID
+	phase     int
+	legs      map[sim.ProcessID]int // per-partner chain length this phase
+	replied   map[sim.ProcessID]bool
+	suspected map[sim.ProcessID]bool
+	leader    sim.ProcessID
+	started   bool
+}
+
+var _ sim.Process = (*OmegaCore)(nil)
+
+// Leader returns the current leader choice.
+func (o *OmegaCore) Leader() sim.ProcessID { return o.leader }
+
+// Phase returns the current phase number.
+func (o *OmegaCore) Phase() int { return o.phase }
+
+// Suspects reports whether q is suspected.
+func (o *OmegaCore) Suspects(q sim.ProcessID) bool { return o.suspected[q] }
+
+// Step implements sim.Process.
+func (o *OmegaCore) Step(env *sim.Env, msg sim.Message) {
+	switch pl := msg.Payload.(type) {
+	case sim.Wakeup:
+		o.self = env.Self()
+		o.suspected = make(map[sim.ProcessID]bool)
+		o.leader = o.self
+		o.started = true
+		o.beginPhase(env)
+	case Query:
+		env.Send(msg.From, Reply{Phase: pl.Phase})
+	case Ping:
+		env.Send(msg.From, Pong{Phase: pl.Phase, Seq: pl.Seq})
+	case Reply:
+		if pl.Phase == o.phase {
+			o.replied[msg.From] = true
+		}
+	case Pong:
+		if pl.Phase != o.phase {
+			return // stale chain from a finished phase
+		}
+		o.legs[msg.From] += 2
+		if o.legs[msg.From] >= o.ChainLen {
+			o.endPhase(env)
+			return
+		}
+		env.Send(msg.From, Ping{Phase: o.phase, Seq: pl.Seq + 1})
+	}
+}
+
+func (o *OmegaCore) beginPhase(env *sim.Env) {
+	o.legs = make(map[sim.ProcessID]int)
+	o.replied = make(map[sim.ProcessID]bool)
+	for _, q := range o.Core {
+		if q == o.self {
+			continue
+		}
+		env.Send(q, Query{Phase: o.phase})
+		env.Send(q, Ping{Phase: o.phase, Seq: 0})
+	}
+}
+
+func (o *OmegaCore) endPhase(env *sim.Env) {
+	for _, q := range o.Core {
+		if q == o.self || o.suspected[q] {
+			continue
+		}
+		if !o.replied[q] {
+			o.suspected[q] = true
+		}
+	}
+	// Elect the smallest unsuspected core member (self is never
+	// self-suspected).
+	o.leader = o.self
+	for _, q := range o.Core {
+		if !o.suspected[q] && q < o.leader {
+			o.leader = q
+		}
+	}
+	env.Broadcast(LeaderMsg{Leader: o.leader})
+	o.phase++
+	if o.phase < o.MaxPhase {
+		o.beginPhase(env)
+	}
+}
+
+// OmegaFollower is a non-core process: it adopts the most recent leader
+// announcement it receives.
+type OmegaFollower struct {
+	leader sim.ProcessID
+	heard  bool
+}
+
+var _ sim.Process = (*OmegaFollower)(nil)
+
+// Leader returns the adopted leader and whether any announcement arrived.
+func (o *OmegaFollower) Leader() (sim.ProcessID, bool) { return o.leader, o.heard }
+
+// Step implements sim.Process.
+func (o *OmegaFollower) Step(env *sim.Env, msg sim.Message) {
+	if lm, ok := msg.Payload.(LeaderMsg); ok {
+		o.leader = lm.Leader
+		o.heard = true
+	}
+}

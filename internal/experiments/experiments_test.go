@@ -1,0 +1,39 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// TestAllExperimentsReproduce runs the full E1–E15 suite — the entire
+// paper evaluation — and fails on the first claim that does not reproduce.
+// Skipped under -short: the suite runs many simulations (it is also
+// exercised by cmd/abcbench and the root benchmarks).
+func TestAllExperimentsReproduce(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full evaluation suite skipped in -short mode")
+	}
+	all := append(All(), RunVLSI)
+	for _, exp := range all {
+		res, err := exp()
+		if err != nil {
+			t.Fatalf("%s: %v", res.ID, err)
+		}
+		for _, r := range res.Rows {
+			if !r.OK {
+				t.Errorf("%s/%s: paper claims %q, measured %q", res.ID, r.Name, r.Paper, r.Measured)
+			}
+		}
+		t.Logf("%s: %s — %d rows ok", res.ID, res.Title, len(res.Rows))
+	}
+}
+
+func TestResultFailed(t *testing.T) {
+	r := Result{Rows: []Row{{OK: true}, {OK: true}}}
+	if r.Failed() {
+		t.Error("all-ok result reported failed")
+	}
+	r.Rows = append(r.Rows, Row{OK: false})
+	if !r.Failed() {
+		t.Error("failing row not reported")
+	}
+}

@@ -1,0 +1,127 @@
+// Package fifo implements FIFO channels over non-FIFO links using only the
+// ABC synchrony condition — the Fig. 10 construction of the paper
+// (Section 5.1).
+//
+// The sender interleaves each pair of consecutive data messages with a
+// causal chain of k messages (ping-pongs with a helper process). If a
+// later data message overtook an earlier one, the receive events would
+// close a relevant cycle with one forward message (the overtaken one) and
+// k+1 backward messages (the overtaking one plus the chain) — ratio
+// (k+1)/1. With k >= Ξ−1 that ratio reaches Ξ, so overtaking is
+// inadmissible: messages arrive in order even though their delays are
+// unbounded and the links deliver out of order in general. No sequence
+// numbers are attached — ordering is a property of the model, which is
+// what enables bounded message size and stable identifiers (paper,
+// Section 5.1).
+package fifo
+
+import (
+	"repro/internal/rat"
+	"repro/internal/sim"
+)
+
+// Item is a data message carrying an opaque value. Seq exists only for
+// test verification; the protocol never reads it.
+type Item struct {
+	Seq int
+	V   any
+}
+
+// chainPing and chainPong are the inter-send causal chain messages.
+type (
+	chainPing struct{ Seq int }
+	chainPong struct{ Seq int }
+)
+
+// MinChainLen returns the smallest number k of chain messages between
+// consecutive sends that makes overtaking inadmissible for the given Ξ:
+// the overtaking cycle has ratio (k+1)/1, which must reach Ξ, so
+// k = ⌈Ξ⌉ − 1 (at least 1).
+func MinChainLen(xi rat.Rat) int {
+	k := xi.Ceil() - 1
+	if xi.IsInt() {
+		// ratio k+1 = Ξ: violation needs >= Ξ, so Ξ−1 suffices exactly.
+		k = xi.Num() - 1
+	}
+	if k < 1 {
+		k = 1
+	}
+	return int(k)
+}
+
+// Sender emits Items to Receiver in order, inserting a ChainLen-message
+// chain (via Helper) between consecutive sends.
+type Sender struct {
+	Receiver, Helper sim.ProcessID
+	Items            []any
+	ChainLen         int
+
+	next int
+	legs int
+}
+
+var _ sim.Process = (*Sender)(nil)
+
+// Step implements sim.Process.
+func (s *Sender) Step(env *sim.Env, msg sim.Message) {
+	switch pl := msg.Payload.(type) {
+	case sim.Wakeup:
+		s.sendNext(env)
+	case chainPong:
+		s.legs += 2
+		if s.legs >= s.ChainLen {
+			s.sendNext(env)
+			return
+		}
+		env.Send(s.Helper, chainPing{Seq: pl.Seq + 1})
+	}
+}
+
+// sendNext emits the next item (if any) and starts the next chain.
+func (s *Sender) sendNext(env *sim.Env) {
+	if s.next >= len(s.Items) {
+		return
+	}
+	env.Send(s.Receiver, Item{Seq: s.next, V: s.Items[s.next]})
+	s.next++
+	s.legs = 0
+	if s.next < len(s.Items) {
+		env.Send(s.Helper, chainPing{Seq: 0})
+	}
+}
+
+// Helper bounces chain pings back.
+type Helper struct{}
+
+var _ sim.Process = Helper{}
+
+// Step implements sim.Process.
+func (Helper) Step(env *sim.Env, msg sim.Message) {
+	if p, ok := msg.Payload.(chainPing); ok {
+		env.Send(msg.From, chainPong{Seq: p.Seq})
+	}
+}
+
+// Receiver records items in arrival order.
+type Receiver struct {
+	Got []Item
+}
+
+var _ sim.Process = (*Receiver)(nil)
+
+// Step implements sim.Process.
+func (r *Receiver) Step(env *sim.Env, msg sim.Message) {
+	if it, ok := msg.Payload.(Item); ok {
+		r.Got = append(r.Got, it)
+	}
+}
+
+// InOrder reports whether the received sequence is exactly 0, 1, 2, ...
+func (r *Receiver) InOrder() bool {
+	for i, it := range r.Got {
+		if it.Seq != i {
+			return false
+		}
+	}
+	return true
+}

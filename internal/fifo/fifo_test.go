@@ -1,0 +1,160 @@
+package fifo
+
+import (
+	"testing"
+
+	"repro/internal/causality"
+	"repro/internal/check"
+	"repro/internal/rat"
+	"repro/internal/sim"
+)
+
+func TestMinChainLen(t *testing.T) {
+	tests := []struct {
+		xi   rat.Rat
+		want int
+	}{
+		{rat.FromInt(4), 3}, // ratio k+1 = 4 >= 4
+		{rat.FromInt(2), 1}, // ratio 2 >= 2
+		{rat.New(3, 2), 1},  // ratio 2 >= 3/2
+		{rat.New(5, 2), 2},  // ratio 3 >= 5/2
+		{rat.New(9, 4), 2},  // ratio 3 >= 9/4
+	}
+	for _, tt := range tests {
+		if got := MinChainLen(tt.xi); got != tt.want {
+			t.Errorf("MinChainLen(%v) = %d, want %d", tt.xi, got, tt.want)
+		}
+	}
+}
+
+// fifoConfig wires sender 0, helper 1, receiver 2.
+func fifoConfig(items int, chainLen int, delays sim.DelayPolicy, seed int64) sim.Config {
+	payloads := make([]any, items)
+	for i := range payloads {
+		payloads[i] = i * 10
+	}
+	return sim.Config{
+		N: 3,
+		Spawn: func(p sim.ProcessID) sim.Process {
+			switch p {
+			case 0:
+				return &Sender{Receiver: 2, Helper: 1, Items: payloads, ChainLen: chainLen}
+			case 1:
+				return Helper{}
+			default:
+				return &Receiver{}
+			}
+		},
+		Delays:    delays,
+		Seed:      seed,
+		MaxEvents: 20000,
+	}
+}
+
+// Fig. 10's guarantee: in every ABC(4)-admissible execution the receiver
+// sees items in order, even with wildly varying per-message delays.
+func TestFIFOHoldsInAdmissibleExecutions(t *testing.T) {
+	xi := rat.FromInt(4)
+	chain := 4 // the figure's value (2 ping-pongs), above the minimum 3
+	admissible, reordered := 0, 0
+	for seed := int64(0); seed < 60; seed++ {
+		// Heavy-tailed delays on the data link, quick chain.
+		delays := sim.OverrideDelay{
+			Base: sim.UniformDelay{Min: rat.One, Max: rat.New(3, 2)},
+			Match: func(m sim.Message) bool {
+				_, isItem := m.Payload.(Item)
+				return isItem
+			},
+			Override: sim.UniformDelay{Min: rat.One, Max: rat.FromInt(6)},
+		}
+		res, err := sim.Run(fifoConfig(5, chain, delays, seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := causality.Build(res.Trace, causality.Options{})
+		v, err := check.ABC(g, xi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		recv := res.Procs[2].(*Receiver)
+		if !v.Admissible {
+			// Inadmissible schedules are outside the model; not counted.
+			continue
+		}
+		admissible++
+		if !recv.InOrder() {
+			reordered++
+			t.Errorf("seed %d: admissible execution delivered out of order: %v", seed, recv.Got)
+		}
+		if len(recv.Got) != 5 {
+			t.Errorf("seed %d: received %d items, want 5", seed, len(recv.Got))
+		}
+	}
+	if admissible < 10 {
+		t.Fatalf("only %d admissible runs; experiment underpowered", admissible)
+	}
+	t.Logf("admissible=%d reordered=%d", admissible, reordered)
+}
+
+// The converse: a handcrafted execution in which item 1 overtakes item 0
+// forms a relevant cycle with ratio chain+1 — inadmissible for Ξ = 4 when
+// chain = 4 (the figure's ratio-5 cycle).
+func TestReorderingIsInadmissible(t *testing.T) {
+	// sender = 0, helper = 1, receiver = 2. Receiver events are appended
+	// in arrival order: item1 first (t=5), then the overtaken item0
+	// (t=20), both sent from the sender's earlier steps.
+	b := sim.NewTraceBuilder(3)
+	b.WakeAll(rat.Zero)
+	// chain of 4: ping/pong twice.
+	b.MsgAt(0, 0, 1, 1, "ping0")
+	b.MsgAt(1, 1, 0, 2, "pong0")
+	b.MsgAt(0, 1, 1, 3, "ping1")
+	b.MsgAt(1, 2, 0, 4, "pong1")
+	// item1 sent after the chain (sender event 2), arrives first.
+	b.MsgAt(0, 2, 2, 5, "item1") // receiver event 1
+	// item0 sent at the wake-up (sender event 0), arrives last: overtaken.
+	b.MsgAt(0, 0, 2, 20, "item0") // receiver event 2
+	tr := b.MustBuild()
+	g := causality.Build(tr, causality.Options{})
+
+	v, err := check.ABC(g, rat.FromInt(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Admissible {
+		t.Fatal("reordered execution admissible at Ξ=4; Fig. 10 argument broken")
+	}
+	if v.WitnessClass.Ratio().Less(rat.FromInt(4)) {
+		t.Errorf("witness ratio %v below 4", v.WitnessClass.Ratio())
+	}
+	// The same pattern is admissible for a larger Ξ (reordering allowed
+	// when the model is weak).
+	v, err = check.ABC(g, rat.FromInt(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Admissible {
+		t.Error("reordering should be admissible at Ξ=6 (ratio 5 < 6)")
+	}
+}
+
+// With a chain shorter than the minimum, reordering becomes admissible —
+// the bound in MinChainLen is tight.
+func TestChainTooShortAllowsReordering(t *testing.T) {
+	b := sim.NewTraceBuilder(3)
+	b.WakeAll(rat.Zero)
+	// chain of only 2 messages.
+	b.MsgAt(0, 0, 1, 1, "ping0")
+	b.MsgAt(1, 1, 0, 2, "pong0")
+	b.MsgAt(0, 1, 2, 5, "item1")  // receiver event 1
+	b.MsgAt(0, 0, 2, 20, "item0") // receiver event 2: overtaken
+	tr := b.MustBuild()
+	g := causality.Build(tr, causality.Options{})
+	v, err := check.ABC(g, rat.FromInt(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Admissible {
+		t.Error("ratio-3 reorder cycle should be admissible at Ξ=4")
+	}
+}

@@ -1,0 +1,84 @@
+package graphutil
+
+// BFResult is the outcome of a Bellman–Ford run.
+type BFResult struct {
+	// Feasible is true when the graph contains no negative-weight cycle.
+	Feasible bool
+	// Dist holds, for each node, the shortest-path distance from a virtual
+	// super-source connected to every node with a zero-weight edge. Valid
+	// only when Feasible is true. For a difference-constraint system with
+	// edges u->v of weight w meaning x[v] - x[u] <= w, Dist is a solution
+	// (x := Dist satisfies every constraint).
+	Dist []int64
+	// NegativeCycle is a minimal witness when Feasible is false: a sequence
+	// of edges e1..ek with e[i].To == e[i+1].From (cyclically) whose weights
+	// sum to a negative value. Empty when Feasible is true.
+	NegativeCycle []Edge
+}
+
+// BellmanFord solves single-source shortest paths from a virtual
+// super-source that reaches every node with weight 0, detecting negative
+// cycles. This formulation (rather than a caller-chosen source) is the one
+// needed for difference-constraint feasibility: the system is feasible if
+// and only if the constraint graph has no negative cycle, and the distances
+// from the super-source form a concrete solution.
+//
+// The implementation is the standard O(V·E) edge-relaxation loop with early
+// exit, followed by predecessor-walking to extract a simple negative cycle
+// if one exists.
+func (g *Digraph) BellmanFord() BFResult {
+	n := g.n
+	dist := make([]int64, n) // all zero: super-source initialization
+	pred := make([]int32, n) // index into g.edges of the relaxing edge
+	for i := range pred {
+		pred[i] = -1
+	}
+
+	var lastRelaxed int32 = -1
+	for iter := 0; iter <= n; iter++ {
+		lastRelaxed = -1
+		for i, e := range g.edges {
+			if nd := dist[e.From] + e.Weight; nd < dist[e.To] {
+				dist[e.To] = nd
+				pred[e.To] = int32(i)
+				lastRelaxed = int32(i)
+			}
+		}
+		if lastRelaxed == -1 {
+			return BFResult{Feasible: true, Dist: dist}
+		}
+	}
+
+	// An edge relaxed on iteration n+1: a negative cycle is reachable from
+	// the predecessor chain of that edge's head. Walk back n steps to land
+	// inside the cycle, then collect it.
+	v := g.edges[lastRelaxed].To
+	for i := 0; i < n; i++ {
+		v = g.edges[pred[v]].From
+	}
+	start := v
+	var cycleRev []Edge
+	for {
+		e := g.edges[pred[v]]
+		cycleRev = append(cycleRev, e)
+		v = e.From
+		if v == start {
+			break
+		}
+	}
+	// cycleRev lists edges from head back to tail; reverse into forward order.
+	cycle := make([]Edge, len(cycleRev))
+	for i, e := range cycleRev {
+		cycle[len(cycleRev)-1-i] = e
+	}
+	return BFResult{Feasible: false, NegativeCycle: cycle}
+}
+
+// CycleWeight returns the total weight of a sequence of edges.
+func CycleWeight(cycle []Edge) int64 {
+	var sum int64
+	for _, e := range cycle {
+		sum += e.Weight
+	}
+	return sum
+}

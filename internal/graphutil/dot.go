@@ -1,0 +1,50 @@
+package graphutil
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// DOTOptions controls DOT rendering.
+type DOTOptions struct {
+	// Name is the graph name; defaults to "G".
+	Name string
+	// NodeLabel, if non-nil, supplies a label per node id.
+	NodeLabel func(v int) string
+	// EdgeAttr, if non-nil, supplies extra attributes (e.g. `style=dashed`)
+	// per edge index.
+	EdgeAttr func(i int, e Edge) string
+}
+
+// WriteDOT renders the digraph in Graphviz DOT format, used by cmd/abcsim
+// to visualize space–time diagrams and violating cycles.
+func (g *Digraph) WriteDOT(w io.Writer, opts DOTOptions) error {
+	name := opts.Name
+	if name == "" {
+		name = "G"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %s {\n", name)
+	for v := 0; v < g.n; v++ {
+		label := fmt.Sprintf("%d", v)
+		if opts.NodeLabel != nil {
+			label = opts.NodeLabel(v)
+		}
+		fmt.Fprintf(&b, "  n%d [label=%q];\n", v, label)
+	}
+	for i, e := range g.edges {
+		attr := ""
+		if opts.EdgeAttr != nil {
+			attr = opts.EdgeAttr(i, e)
+		}
+		if attr != "" {
+			fmt.Fprintf(&b, "  n%d -> n%d [%s];\n", e.From, e.To, attr)
+		} else {
+			fmt.Fprintf(&b, "  n%d -> n%d;\n", e.From, e.To)
+		}
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

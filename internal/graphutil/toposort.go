@@ -1,0 +1,80 @@
+package graphutil
+
+// TopoSort returns a topological order of the nodes, or ok=false if the
+// graph contains a directed cycle. Execution graphs (Definition 1 of the
+// paper) are DAGs — messages cannot be sent backwards in time — and several
+// packages rely on processing events in causal order.
+func (g *Digraph) TopoSort() (order []int, ok bool) {
+	indeg := make([]int, g.n)
+	for _, e := range g.edges {
+		indeg[e.To]++
+	}
+	adj := g.adjacency()
+	queue := make([]int, 0, g.n)
+	for v := 0; v < g.n; v++ {
+		if indeg[v] == 0 {
+			queue = append(queue, v)
+		}
+	}
+	order = make([]int, 0, g.n)
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		order = append(order, v)
+		for _, ei := range adj[v] {
+			w := g.edges[ei].To
+			indeg[w]--
+			if indeg[w] == 0 {
+				queue = append(queue, w)
+			}
+		}
+	}
+	if len(order) != g.n {
+		return nil, false
+	}
+	return order, true
+}
+
+// IsDAG reports whether the graph is acyclic.
+func (g *Digraph) IsDAG() bool {
+	_, ok := g.TopoSort()
+	return ok
+}
+
+// Reachable returns the set of nodes reachable from the given start nodes
+// (inclusive) following edge direction. The result is a boolean vector
+// indexed by node. This is the primitive behind causal-past computations.
+func (g *Digraph) Reachable(starts ...int) []bool {
+	adj := g.adjacency()
+	seen := make([]bool, g.n)
+	stack := make([]int, 0, len(starts))
+	for _, s := range starts {
+		if !seen[s] {
+			seen[s] = true
+			stack = append(stack, s)
+		}
+	}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, ei := range adj[v] {
+			w := g.edges[ei].To
+			if !seen[w] {
+				seen[w] = true
+				stack = append(stack, w)
+			}
+		}
+	}
+	return seen
+}
+
+// Reverse returns a new digraph with every edge reversed. Weights and
+// labels are preserved.
+func (g *Digraph) Reverse() *Digraph {
+	r := New(g.n)
+	r.edges = make([]Edge, len(g.edges))
+	for i, e := range g.edges {
+		r.edges[i] = Edge{From: e.To, To: e.From, Weight: e.Weight, Label: e.Label}
+	}
+	return r
+}

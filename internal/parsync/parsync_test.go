@@ -1,0 +1,134 @@
+package parsync
+
+import (
+	"testing"
+
+	"repro/internal/causality"
+	"repro/internal/check"
+	"repro/internal/rat"
+	"repro/internal/sim"
+)
+
+func TestCheckAdmissible(t *testing.T) {
+	// A well-behaved round-robin execution passes generous (Φ, Δ).
+	res, err := sim.Run(sim.Config{
+		N: 3,
+		Spawn: func(p sim.ProcessID) sim.Process {
+			return sim.ProcessFunc(func(env *sim.Env, msg sim.Message) {
+				if env.StepIndex() < 5 {
+					env.Broadcast(env.StepIndex())
+				}
+			})
+		},
+		Delays: sim.UniformDelay{Min: rat.One, Max: rat.New(3, 2)},
+		Seed:   1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Check(res.Trace, 1000, 1000)
+	if !r.Admissible {
+		t.Errorf("benign trace rejected: %s", r.Reason)
+	}
+	if Check(res.Trace, 1, 1).Admissible {
+		t.Error("trace accepted with Φ=Δ=1; should be too tight")
+	}
+}
+
+func TestCheckDetectsSlowMessage(t *testing.T) {
+	b := sim.NewTraceBuilder(2)
+	b.WakeAll(rat.Zero)
+	// p0 sends to p1; p1 replies instantly many times... build a long
+	// one-way stream so ticks accumulate, then a slow message.
+	b.MsgAt(0, 0, 1, 1, "a") // tick delay small
+	b.MsgAt(0, 0, 1, 2, "b") // q1 event 2
+	b.MsgAt(1, 1, 0, 30, "slow")
+	tr := b.MustBuild()
+	r := Check(tr, 100, 1)
+	if r.Admissible {
+		t.Error("slow message passed Δ=1")
+	}
+}
+
+// The Fig. 8 game: for every adversary (Φ, Δ), the Prover's execution is
+// ABC(Ξ)-admissible, contains a constraining relevant cycle, and violates
+// ParSync(Φ, Δ).
+func TestProverWinsGame(t *testing.T) {
+	xi := rat.FromInt(2)
+	adversaryChoices := []struct{ phi, delta int }{
+		{2, 2}, {5, 3}, {10, 10}, {20, 7}, {50, 50},
+	}
+	for _, adv := range adversaryChoices {
+		tr, err := ProverExecution(adv.phi, adv.delta, xi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := causality.Build(tr, causality.Options{})
+
+		// ABC-admissible for the Prover's Ξ.
+		v, err := check.ABC(g, xi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !v.Admissible {
+			t.Fatalf("(Φ=%d, Δ=%d): prover execution not ABC(%v)-admissible: %v",
+				adv.phi, adv.delta, xi, v.Witness)
+		}
+		// Genuinely constrained: it has a relevant cycle with ratio > 1.
+		constrained, err := check.Constrained(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !constrained {
+			t.Fatalf("(Φ=%d, Δ=%d): prover execution has no constraining cycle", adv.phi, adv.delta)
+		}
+		// And it violates the adversary's ParSync parameters.
+		r := Check(tr, adv.phi, adv.delta)
+		if r.Admissible {
+			t.Fatalf("(Φ=%d, Δ=%d): prover execution is ParSync-admissible (gap=%d, delay=%d)",
+				adv.phi, adv.delta, r.MaxStepGap, r.MaxDelay)
+		}
+	}
+}
+
+func TestProverExecutionRatioNearXi(t *testing.T) {
+	// The witness's critical ratio stays strictly below Ξ but its |Z−|
+	// scales with the adversary's parameters.
+	xi := rat.FromInt(3)
+	tr, err := ProverExecution(30, 10, xi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := causality.Build(tr, causality.Options{})
+	ratio, found, err := check.MaxRelevantRatio(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !found {
+		t.Fatal("no constraining cycle in prover execution")
+	}
+	if !ratio.Less(xi) {
+		t.Errorf("critical ratio %v not below Ξ=%v", ratio, xi)
+	}
+	if ratio.LessEq(rat.One) {
+		t.Errorf("critical ratio %v suspiciously small", ratio)
+	}
+}
+
+func TestProverExecutionValidation(t *testing.T) {
+	if _, err := ProverExecution(3, 3, rat.One); err == nil {
+		t.Error("Ξ = 1 accepted")
+	}
+}
+
+func TestCheckSkipsFaulty(t *testing.T) {
+	b := sim.NewTraceBuilder(2)
+	b.SetFaulty(1)
+	b.WakeAll(rat.Zero)
+	b.MsgAt(0, 0, 1, 1, "x")
+	b.MsgAt(1, 1, 0, 40, "fromFaulty")
+	r := Check(b.MustBuild(), 10, 2)
+	if !r.Admissible {
+		t.Errorf("faulty process constrained ParSync check: %s", r.Reason)
+	}
+}

@@ -1,0 +1,232 @@
+// Package rat provides exact rational arithmetic with value semantics.
+//
+// The ABC model's synchrony parameter Ξ is a rational number (Definition 4 of
+// the paper), and the normalized delay assignment of Theorem 7 must satisfy
+// strict rational inequalities 1 < τ(e) < Ξ. Floating point cannot represent
+// these constraints exactly, so all model-level arithmetic in this repository
+// goes through this package. Rat wraps math/big.Rat behind an immutable value
+// API: every operation returns a fresh value and never mutates its operands,
+// which makes Rat safe to share across goroutines and store in maps.
+package rat
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// Rat is an immutable arbitrary-precision rational number.
+// The zero value is 0/1 and is ready to use.
+type Rat struct {
+	// br is nil for the zero value; all accessors treat nil as 0.
+	br *big.Rat
+}
+
+// Zero is the rational number 0.
+var Zero = Rat{}
+
+// One is the rational number 1.
+var One = FromInt(1)
+
+// New returns the rational num/den. It panics if den == 0.
+func New(num, den int64) Rat {
+	if den == 0 {
+		panic("rat: zero denominator")
+	}
+	return Rat{br: big.NewRat(num, den)}
+}
+
+// FromInt returns the rational n/1.
+func FromInt(n int64) Rat {
+	return Rat{br: big.NewRat(n, 1)}
+}
+
+// FromBig returns a Rat copying the given big.Rat. A nil argument yields 0.
+func FromBig(r *big.Rat) Rat {
+	if r == nil {
+		return Rat{}
+	}
+	return Rat{br: new(big.Rat).Set(r)}
+}
+
+// FromFloat returns the exact rational value of f.
+// It panics if f is NaN or infinite.
+func FromFloat(f float64) Rat {
+	br := new(big.Rat).SetFloat64(f)
+	if br == nil {
+		panic(fmt.Sprintf("rat: cannot represent %v", f))
+	}
+	return Rat{br: br}
+}
+
+// Parse parses a string in fraction ("3/2") or decimal ("1.5") form.
+func Parse(s string) (Rat, error) {
+	br, ok := new(big.Rat).SetString(s)
+	if !ok {
+		return Rat{}, fmt.Errorf("rat: cannot parse %q", s)
+	}
+	return Rat{br: br}, nil
+}
+
+// MustParse is Parse, panicking on error. Intended for constants in tests
+// and examples.
+func MustParse(s string) Rat {
+	r, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// big returns the underlying big.Rat, treating the zero value as 0.
+// Callers must not mutate the result.
+func (x Rat) big() *big.Rat {
+	if x.br == nil {
+		return new(big.Rat)
+	}
+	return x.br
+}
+
+// Add returns x + y.
+func (x Rat) Add(y Rat) Rat { return Rat{br: new(big.Rat).Add(x.big(), y.big())} }
+
+// Sub returns x - y.
+func (x Rat) Sub(y Rat) Rat { return Rat{br: new(big.Rat).Sub(x.big(), y.big())} }
+
+// Mul returns x * y.
+func (x Rat) Mul(y Rat) Rat { return Rat{br: new(big.Rat).Mul(x.big(), y.big())} }
+
+// Div returns x / y. It panics if y is zero.
+func (x Rat) Div(y Rat) Rat {
+	if y.Sign() == 0 {
+		panic("rat: division by zero")
+	}
+	return Rat{br: new(big.Rat).Quo(x.big(), y.big())}
+}
+
+// Neg returns -x.
+func (x Rat) Neg() Rat { return Rat{br: new(big.Rat).Neg(x.big())} }
+
+// Inv returns 1/x. It panics if x is zero.
+func (x Rat) Inv() Rat {
+	if x.Sign() == 0 {
+		panic("rat: inverse of zero")
+	}
+	return Rat{br: new(big.Rat).Inv(x.big())}
+}
+
+// Abs returns |x|.
+func (x Rat) Abs() Rat { return Rat{br: new(big.Rat).Abs(x.big())} }
+
+// MulInt returns x * n.
+func (x Rat) MulInt(n int64) Rat { return x.Mul(FromInt(n)) }
+
+// Cmp compares x and y and returns -1, 0, or +1.
+func (x Rat) Cmp(y Rat) int { return x.big().Cmp(y.big()) }
+
+// Less reports whether x < y.
+func (x Rat) Less(y Rat) bool { return x.Cmp(y) < 0 }
+
+// LessEq reports whether x <= y.
+func (x Rat) LessEq(y Rat) bool { return x.Cmp(y) <= 0 }
+
+// Greater reports whether x > y.
+func (x Rat) Greater(y Rat) bool { return x.Cmp(y) > 0 }
+
+// GreaterEq reports whether x >= y.
+func (x Rat) GreaterEq(y Rat) bool { return x.Cmp(y) >= 0 }
+
+// Equal reports whether x == y.
+func (x Rat) Equal(y Rat) bool { return x.Cmp(y) == 0 }
+
+// Sign returns -1, 0, or +1 according to the sign of x.
+func (x Rat) Sign() int { return x.big().Sign() }
+
+// IsInt reports whether x is an integer.
+func (x Rat) IsInt() bool { return x.big().IsInt() }
+
+// Num returns the numerator of x in lowest terms.
+// It panics if the numerator does not fit in an int64.
+func (x Rat) Num() int64 {
+	n := x.big().Num()
+	if !n.IsInt64() {
+		panic("rat: numerator overflows int64")
+	}
+	return n.Int64()
+}
+
+// Den returns the denominator of x in lowest terms (always positive).
+// It panics if the denominator does not fit in an int64.
+func (x Rat) Den() int64 {
+	d := x.big().Denom()
+	if !d.IsInt64() {
+		panic("rat: denominator overflows int64")
+	}
+	return d.Int64()
+}
+
+// Float64 returns the nearest float64 value to x.
+func (x Rat) Float64() float64 {
+	f, _ := x.big().Float64()
+	return f
+}
+
+// Ceil returns the smallest integer >= x, as an int64.
+func (x Rat) Ceil() int64 {
+	num := x.big().Num()
+	den := x.big().Denom()
+	q, m := new(big.Int).QuoRem(num, den, new(big.Int))
+	if m.Sign() > 0 {
+		q.Add(q, big.NewInt(1))
+	}
+	if !q.IsInt64() {
+		panic("rat: ceil overflows int64")
+	}
+	return q.Int64()
+}
+
+// Floor returns the largest integer <= x, as an int64.
+func (x Rat) Floor() int64 {
+	num := x.big().Num()
+	den := x.big().Denom()
+	q, m := new(big.Int).QuoRem(num, den, new(big.Int))
+	if m.Sign() < 0 {
+		q.Sub(q, big.NewInt(1))
+	}
+	if !q.IsInt64() {
+		panic("rat: floor overflows int64")
+	}
+	return q.Int64()
+}
+
+// Min returns the smaller of x and y.
+func Min(x, y Rat) Rat {
+	if x.Cmp(y) <= 0 {
+		return x
+	}
+	return y
+}
+
+// Max returns the larger of x and y.
+func Max(x, y Rat) Rat {
+	if x.Cmp(y) >= 0 {
+		return x
+	}
+	return y
+}
+
+// Sum returns the sum of all values, or 0 for an empty slice.
+func Sum(xs ...Rat) Rat {
+	acc := new(big.Rat)
+	for _, x := range xs {
+		acc.Add(acc, x.big())
+	}
+	return Rat{br: acc}
+}
+
+// String renders x as "n" for integers and "n/d" otherwise.
+func (x Rat) String() string {
+	if x.IsInt() {
+		return x.big().Num().String()
+	}
+	return x.big().RatString()
+}

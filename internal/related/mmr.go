@@ -1,0 +1,134 @@
+package related
+
+import (
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// MMR query–response machinery. In the MMR model, every process repeatedly
+// queries all processes and waits for the first n−f responses; the model
+// assumes a fixed set Q_i of processes whose responses are always among
+// those first n−f. Winning sets are the empirical version: the
+// intersection, over all completed query rounds of process i, of the sets
+// of the first n−f responders.
+
+// QueryRound is one completed query–response exchange: the responders in
+// arrival order.
+type QueryRound struct {
+	Querier    sim.ProcessID
+	Responders []sim.ProcessID // in order of response arrival
+}
+
+// WinningSets computes, per querier, the intersection of the first-(n−f)
+// responder sets over that querier's rounds. A non-empty winning set for
+// every querier (beyond the querier itself) witnesses the MMR property on
+// the observed prefix.
+func WinningSets(n, f int, rounds []QueryRound) map[sim.ProcessID][]sim.ProcessID {
+	type set map[sim.ProcessID]bool
+	inter := make(map[sim.ProcessID]set)
+	for _, r := range rounds {
+		k := n - f
+		if k > len(r.Responders) {
+			k = len(r.Responders)
+		}
+		first := make(set, k)
+		for _, p := range r.Responders[:k] {
+			first[p] = true
+		}
+		if cur, ok := inter[r.Querier]; !ok {
+			inter[r.Querier] = first
+		} else {
+			for p := range cur {
+				if !first[p] {
+					delete(cur, p)
+				}
+			}
+		}
+	}
+	out := make(map[sim.ProcessID][]sim.ProcessID, len(inter))
+	for q, s := range inter {
+		ids := make([]sim.ProcessID, 0, len(s))
+		for p := range s {
+			ids = append(ids, p)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		out[q] = ids
+	}
+	return out
+}
+
+// MMRQuerier is a process that runs query–response rounds: it broadcasts a
+// query, collects responses, completes a round when n−f arrived, and
+// starts the next round, up to MaxRounds. Rounds() returns the observed
+// responder orders for WinningSets.
+type MMRQuerier struct {
+	N, F      int
+	MaxRounds int
+
+	self      sim.ProcessID
+	round     int
+	got       []sim.ProcessID
+	gotSet    map[sim.ProcessID]bool
+	completed []QueryRound
+}
+
+// mmrQuery and mmrResponse are the protocol payloads.
+type (
+	mmrQuery    struct{ Round int }
+	mmrResponse struct{ Round int }
+)
+
+var _ sim.Process = (*MMRQuerier)(nil)
+
+// Rounds returns the completed query rounds.
+func (q *MMRQuerier) Rounds() []QueryRound { return q.completed }
+
+// Step implements sim.Process.
+func (q *MMRQuerier) Step(env *sim.Env, msg sim.Message) {
+	switch pl := msg.Payload.(type) {
+	case sim.Wakeup:
+		q.self = env.Self()
+		q.begin(env)
+	case mmrQuery:
+		env.Send(msg.From, mmrResponse{Round: pl.Round})
+	case mmrResponse:
+		if pl.Round != q.round || q.gotSet == nil || q.gotSet[msg.From] {
+			return
+		}
+		q.gotSet[msg.From] = true
+		q.got = append(q.got, msg.From)
+		if len(q.got) >= q.N-q.F {
+			q.completed = append(q.completed, QueryRound{
+				Querier:    q.self,
+				Responders: append([]sim.ProcessID(nil), q.got...),
+			})
+			q.round++
+			if q.round < q.MaxRounds {
+				q.begin(env)
+			}
+		}
+	}
+}
+
+func (q *MMRQuerier) begin(env *sim.Env) {
+	q.got = q.got[:0]
+	q.gotSet = make(map[sim.ProcessID]bool)
+	for p := sim.ProcessID(0); int(p) < q.N; p++ {
+		if p != q.self {
+			env.Send(p, mmrQuery{Round: q.round})
+		}
+	}
+}
+
+// MMRResponder only answers queries (for pure responder processes).
+type MMRResponder struct{}
+
+var _ sim.Process = MMRResponder{}
+
+// Step implements sim.Process.
+func (MMRResponder) Step(env *sim.Env, msg sim.Message) {
+	if q, ok := msg.Payload.(mmrQuery); ok {
+		env.Send(msg.From, mmrResponse{Round: q.Round})
+	}
+}

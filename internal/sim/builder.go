@@ -1,0 +1,160 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/rat"
+)
+
+// TraceBuilder constructs traces by hand, event by event. It exists so that
+// the exact space–time diagrams of the paper's figures (Figs. 1–5 and 8–10)
+// can be stated directly, with explicit occurrence times and message
+// patterns, rather than coaxed out of a scheduler.
+//
+// Usage: Wake each process, then chain Msg calls. Each Msg names an
+// existing sending event (process, event index) and appends a new receive
+// event at the destination. Build validates and returns the trace.
+type TraceBuilder struct {
+	n      int
+	events []Event
+	msgs   []Message
+	faulty []bool
+	last   []Time // last event time per process; -1 length marker via woke
+	count  []int  // events per process
+	err    error
+}
+
+// NewTraceBuilder returns a builder for an n-process system.
+func NewTraceBuilder(n int) *TraceBuilder {
+	if n <= 0 {
+		panic(fmt.Sprintf("sim: NewTraceBuilder(%d)", n))
+	}
+	return &TraceBuilder{
+		n:      n,
+		faulty: make([]bool, n),
+		last:   make([]Time, n),
+		count:  make([]int, n),
+	}
+}
+
+// SetFaulty marks p as faulty; its sent messages will be dropped from the
+// execution graph.
+func (b *TraceBuilder) SetFaulty(p ProcessID) *TraceBuilder {
+	b.faulty[p] = true
+	return b
+}
+
+// Wake appends process p's wake-up event at time t. It must precede any
+// other event of p.
+func (b *TraceBuilder) Wake(p ProcessID, t Time) *TraceBuilder {
+	if b.err != nil {
+		return b
+	}
+	if b.count[p] != 0 {
+		b.err = fmt.Errorf("sim: Wake(p%d) after %d events", p, b.count[p])
+		return b
+	}
+	id := MsgID(len(b.msgs))
+	b.msgs = append(b.msgs, Message{
+		ID: id, From: External, To: p, SendStep: SendStepExternal,
+		SendTime: t, RecvTime: t, Payload: Wakeup{},
+	})
+	b.appendEvent(p, t, id)
+	return b
+}
+
+// WakeAll wakes every process at time t.
+func (b *TraceBuilder) WakeAll(t Time) *TraceBuilder {
+	for p := ProcessID(0); int(p) < b.n; p++ {
+		b.Wake(p, t)
+	}
+	return b
+}
+
+// Msg appends a message from the existing event (from, fromIdx) to process
+// `to`, received at time recvT, creating to's next receive event. The send
+// time is the sending event's time. Payload may be nil.
+func (b *TraceBuilder) Msg(from ProcessID, fromIdx int, to ProcessID, recvT Time, payload any) *TraceBuilder {
+	if b.err != nil {
+		return b
+	}
+	if fromIdx < 0 || fromIdx >= b.count[from] {
+		b.err = fmt.Errorf("sim: Msg from nonexistent event p%d/%d", from, fromIdx)
+		return b
+	}
+	sendT := b.eventTime(from, fromIdx)
+	if recvT.Less(sendT) {
+		b.err = fmt.Errorf("sim: message from p%d/%d received at %v before sent at %v", from, fromIdx, recvT, sendT)
+		return b
+	}
+	if b.count[to] == 0 {
+		b.err = fmt.Errorf("sim: message to p%d before its wake-up", to)
+		return b
+	}
+	if recvT.Less(b.last[to]) {
+		b.err = fmt.Errorf("sim: receive at p%d at %v precedes its last event at %v", to, recvT, b.last[to])
+		return b
+	}
+	id := MsgID(len(b.msgs))
+	b.msgs = append(b.msgs, Message{
+		ID: id, From: from, To: to, SendStep: fromIdx,
+		SendTime: sendT, RecvTime: recvT, Payload: payload,
+	})
+	b.appendEvent(to, recvT, id)
+	return b
+}
+
+// MsgAt is Msg with integer times, for brevity in tests.
+func (b *TraceBuilder) MsgAt(from ProcessID, fromIdx int, to ProcessID, recvT int64, payload any) *TraceBuilder {
+	return b.Msg(from, fromIdx, to, rat.FromInt(recvT), payload)
+}
+
+// LastIndex returns the index of p's most recent event, or -1 if none.
+func (b *TraceBuilder) LastIndex(p ProcessID) int { return b.count[p] - 1 }
+
+func (b *TraceBuilder) appendEvent(p ProcessID, t Time, trigger MsgID) {
+	b.events = append(b.events, Event{
+		Proc: p, Index: b.count[p], Time: t, Trigger: trigger, Processed: true,
+	})
+	b.count[p]++
+	b.last[p] = t
+}
+
+func (b *TraceBuilder) eventTime(p ProcessID, idx int) Time {
+	for _, ev := range b.events {
+		if ev.Proc == p && ev.Index == idx {
+			return ev.Time
+		}
+	}
+	panic("sim: eventTime on missing event")
+}
+
+// Build finalizes and validates the trace.
+func (b *TraceBuilder) Build() (*Trace, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	t := &Trace{
+		N:       b.n,
+		Events:  b.events,
+		Msgs:    b.msgs,
+		Faulty:  b.faulty,
+		eventAt: make(map[eventKey]int, len(b.events)),
+	}
+	for i, ev := range b.events {
+		t.eventAt[eventKey{ev.Proc, ev.Index}] = i
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// MustBuild is Build, panicking on error. For tests and examples.
+func (b *TraceBuilder) MustBuild() *Trace {
+	t, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return t
+}

@@ -1,0 +1,103 @@
+package sim
+
+import (
+	"math/rand"
+
+	"repro/internal/rat"
+)
+
+// A DelayPolicy assigns an end-to-end delay to each message. The ABC model
+// places no constraint on individual delays — they may be zero, huge, or
+// continuously growing — so the policy is the adversary's lever for shaping
+// executions. Policies must return a non-negative delay and must be
+// deterministic given the message and the rng.
+type DelayPolicy interface {
+	// Delay returns the end-to-end delay of m. The message has its ID,
+	// From, To, SendTime and Payload fields populated; RecvTime is not yet
+	// assigned.
+	Delay(m Message, rng *rand.Rand) Time
+}
+
+// ConstantDelay delays every message by the same amount.
+type ConstantDelay struct{ D Time }
+
+// Delay implements DelayPolicy.
+func (c ConstantDelay) Delay(Message, *rand.Rand) Time { return c.D }
+
+// UniformDelay draws delays uniformly from the rational interval
+// [Min, Max], quantized to granularity (Max-Min)/2^16.
+type UniformDelay struct{ Min, Max Time }
+
+// Delay implements DelayPolicy.
+func (u UniformDelay) Delay(_ Message, rng *rand.Rand) Time {
+	const steps = 1 << 16
+	span := u.Max.Sub(u.Min)
+	k := rng.Int63n(steps + 1)
+	return u.Min.Add(span.Mul(rat.New(k, steps)))
+}
+
+// GrowingDelay models systems whose delays increase without bound, like the
+// paper's spacecraft clusters drifting apart (Section 5.3): a message sent
+// at time t is delayed Base·(1 + Rate·t) scaled by a uniform factor in
+// [1, Spread]. With Spread below the model's Ξ this remains ABC-admissible
+// even though no static Θ or ParSync Δ bound can hold.
+type GrowingDelay struct {
+	Base   Time
+	Rate   Time // growth per unit of send time
+	Spread Time // >= 1; 1 means deterministic
+}
+
+// Delay implements DelayPolicy.
+func (g GrowingDelay) Delay(m Message, rng *rand.Rand) Time {
+	base := g.Base.Mul(rat.One.Add(g.Rate.Mul(m.SendTime)))
+	spread := g.Spread
+	if spread.Less(rat.One) {
+		spread = rat.One
+	}
+	const steps = 1 << 16
+	k := rng.Int63n(steps + 1)
+	factor := rat.One.Add(spread.Sub(rat.One).Mul(rat.New(k, steps)))
+	return base.Mul(factor)
+}
+
+// PerLinkDelay selects a policy per directed link, falling back to Default.
+// It models heterogeneous networks such as the placed-and-routed VLSI chips
+// of Section 5.3, where each wire has its own delay range.
+type PerLinkDelay struct {
+	Default DelayPolicy
+	Links   map[Link]DelayPolicy
+}
+
+// Link is a directed process pair.
+type Link struct{ From, To ProcessID }
+
+// Delay implements DelayPolicy.
+func (p PerLinkDelay) Delay(m Message, rng *rand.Rand) Time {
+	if pol, ok := p.Links[Link{m.From, m.To}]; ok {
+		return pol.Delay(m, rng)
+	}
+	return p.Default.Delay(m, rng)
+}
+
+// OverrideDelay applies Override to messages matched by Match and Base to
+// all others. It is used to inject targeted anomalies such as the
+// zero-delay message m3 of Fig. 1 or the slow reply of Fig. 3.
+type OverrideDelay struct {
+	Base     DelayPolicy
+	Match    func(m Message) bool
+	Override DelayPolicy
+}
+
+// Delay implements DelayPolicy.
+func (o OverrideDelay) Delay(m Message, rng *rand.Rand) Time {
+	if o.Match != nil && o.Match(m) {
+		return o.Override.Delay(m, rng)
+	}
+	return o.Base.Delay(m, rng)
+}
+
+// DelayFunc adapts a function to the DelayPolicy interface.
+type DelayFunc func(m Message, rng *rand.Rand) Time
+
+// Delay implements DelayPolicy.
+func (f DelayFunc) Delay(m Message, rng *rand.Rand) Time { return f(m, rng) }

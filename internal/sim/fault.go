@@ -1,0 +1,47 @@
+package sim
+
+// Fault configures the failure behavior of one process. A process with a
+// Fault entry counts against the resilience bound f and is marked faulty in
+// the trace (its sent messages are dropped from the execution graph, per
+// Definition 1).
+type Fault struct {
+	// CrashAfter, when >= 0, makes the process execute only its first
+	// CrashAfter computing steps; afterwards receptions still occur but
+	// trigger no step. CrashAfter == 0 crashes the process before its
+	// wake-up step. Use NeverCrash (-1) for no crash.
+	CrashAfter int
+	// Byzantine, when non-nil, replaces the process's state machine for all
+	// of its steps. The Byzantine process may send arbitrary messages
+	// (including equivocating payloads) from its steps. CrashAfter still
+	// applies, modelling a Byzantine process that eventually goes silent.
+	Byzantine Process
+	// Script injects messages from this process at arbitrary times,
+	// independent of any computing step — the fully adversarial behavior
+	// permitted of Byzantine processes. Scripted messages are subject to
+	// the delay policy like any other message.
+	Script []ScriptedSend
+}
+
+// NeverCrash is the CrashAfter value meaning the process does not crash.
+const NeverCrash = -1
+
+// ScriptedSend is a message a Byzantine process spontaneously emits.
+type ScriptedSend struct {
+	At      Time
+	To      ProcessID
+	Payload any
+}
+
+// Crash returns a Fault that crash-stops the process after k computing
+// steps.
+func Crash(k int) Fault { return Fault{CrashAfter: k, Byzantine: nil} }
+
+// Silent returns a Fault for a process that is crashed from the start: it
+// never executes any step, not even its wake-up.
+func Silent() Fault { return Fault{CrashAfter: 0} }
+
+// ByzantineFault returns a Fault that runs p instead of the correct
+// algorithm.
+func ByzantineFault(p Process) Fault {
+	return Fault{CrashAfter: NeverCrash, Byzantine: p}
+}

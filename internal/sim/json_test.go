@@ -1,0 +1,84 @@
+package sim
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/rat"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	cfg := twoProcConfig(4)
+	cfg.Faults = map[ProcessID]Fault{1: Crash(3)}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := res.Trace
+
+	var buf bytes.Buffer
+	if err := orig.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N != orig.N || len(back.Events) != len(orig.Events) || len(back.Msgs) != len(orig.Msgs) {
+		t.Fatalf("shape mismatch: N=%d/%d events=%d/%d msgs=%d/%d",
+			back.N, orig.N, len(back.Events), len(orig.Events), len(back.Msgs), len(orig.Msgs))
+	}
+	for i := range orig.Events {
+		a, b := orig.Events[i], back.Events[i]
+		if a.Proc != b.Proc || a.Index != b.Index || !a.Time.Equal(b.Time) ||
+			a.Trigger != b.Trigger || a.Processed != b.Processed {
+			t.Fatalf("event %d mismatch: %+v vs %+v", i, a, b)
+		}
+	}
+	for i := range orig.Msgs {
+		a, b := orig.Msgs[i], back.Msgs[i]
+		if a.From != b.From || a.To != b.To || a.SendStep != b.SendStep ||
+			!a.SendTime.Equal(b.SendTime) || !a.RecvTime.Equal(b.RecvTime) ||
+			a.IsWakeup() != b.IsWakeup() {
+			t.Fatalf("message %d mismatch: %+v vs %+v", i, a, b)
+		}
+	}
+	if back.Faulty[1] != true {
+		t.Error("faulty flag lost")
+	}
+}
+
+func TestJSONRationalTimes(t *testing.T) {
+	b := NewTraceBuilder(2)
+	b.WakeAll(rat.Zero)
+	b.Msg(0, 0, 1, rat.New(7, 3), "x")
+	tr := b.MustBuild()
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "7/3") {
+		t.Error("rational time not serialized exactly")
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Msgs[2].RecvTime.Equal(rat.New(7, 3)) {
+		t.Error("rational time not parsed back exactly")
+	}
+}
+
+func TestReadJSONRejectsGarbage(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("{not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := ReadJSON(strings.NewReader(`{"n":0}`)); err == nil {
+		t.Error("invalid trace accepted")
+	}
+	if _, err := ReadJSON(strings.NewReader(
+		`{"n":1,"faulty":[false],"events":[{"proc":0,"index":0,"time":"x","trigger":0,"processed":true}],"messages":[]}`)); err == nil {
+		t.Error("bad time accepted")
+	}
+}

@@ -1,0 +1,229 @@
+// Package sim is a deterministic discrete-event simulator for asynchronous
+// message-driven distributed systems, faithful to the system model of
+// Section 2 of the ABC paper:
+//
+//   - every process is a state machine executing atomic, zero-time computing
+//     steps, each triggered by the reception of exactly one message;
+//   - an external wake-up message initiates each process's very first step,
+//     and that step occurs before any message from another process is
+//     received;
+//   - message delays are finite but otherwise arbitrary, supplied by a
+//     pluggable DelayPolicy (including zero and growing delays);
+//   - up to f processes may be faulty: crash faults stop a process's
+//     computing steps while receive events keep occurring at it (the paper's
+//     distinction between reception, which the network controls, and
+//     processing, which the receiver controls), and Byzantine faults replace
+//     the process's state machine with arbitrary behavior.
+//
+// The simulator records a complete Trace of receive events and messages from
+// which internal/causality reconstructs the execution graph G_α of
+// Definition 1.
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/rat"
+)
+
+// Time is a point in simulated real time. Algorithms in the ABC model are
+// time-free and never observe Time; it exists so that admissibility checkers
+// for timed models (Θ-Model, ParSync) and real-time cuts (Theorem 3) can be
+// exact.
+type Time = rat.Rat
+
+// ProcessID identifies a process, 0 <= id < N.
+type ProcessID int
+
+// External is the pseudo-sender of wake-up messages (the externally
+// triggered initial computing step of Section 2).
+const External ProcessID = -1
+
+// MsgID indexes a message within a Trace.
+type MsgID int
+
+// SendStep values with special meaning.
+const (
+	// SendStepExternal marks wake-up messages, which have no sending step.
+	SendStepExternal = -1
+	// SendStepScripted marks messages injected by a Byzantine script rather
+	// than by a computing step.
+	SendStepScripted = -2
+)
+
+// Message is a single point-to-point message, either in transit or
+// delivered. Wake-up messages have From == External.
+type Message struct {
+	ID       MsgID
+	From     ProcessID
+	To       ProcessID
+	SendStep int  // index of the sender's triggering event; see SendStep* consts
+	SendTime Time // when the sending step occurred
+	RecvTime Time // when the receive event occurred at To
+	Payload  any
+}
+
+// IsWakeup reports whether m is an external wake-up message.
+func (m Message) IsWakeup() bool { return m.From == External }
+
+// Event is a receive event, in the sense of Section 2: the reception of one
+// message at one process. For a correct process the receive event and the
+// computing step it triggers coincide (Processed == true); for a crashed
+// process the reception still occurs but no step is executed
+// (Processed == false).
+type Event struct {
+	Proc    ProcessID
+	Index   int // per-process receive-event sequence number; 0 is the wake-up
+	Time    Time
+	Trigger MsgID
+	// Processed is false when the receiving process had already crashed and
+	// therefore executed no computing step for this reception.
+	Processed bool
+	// Note is an algorithm-supplied annotation recorded via Env.SetNote
+	// during the triggered step, e.g. the clock value after executing
+	// Algorithm 1's rules. It is nil when unset.
+	Note any
+}
+
+// Trace is the complete record of one execution: all receive events in
+// their global delivery order and all messages. It is the input to
+// causality.Build.
+type Trace struct {
+	N      int
+	Events []Event
+	Msgs   []Message
+	// Faulty[p] is true when process p was configured with a fault
+	// (crash or Byzantine).
+	Faulty []bool
+	// eventAt maps (proc, index) to the position in Events.
+	eventAt map[eventKey]int
+}
+
+type eventKey struct {
+	proc  ProcessID
+	index int
+}
+
+// EventAt returns the position in Events of process p's index-th receive
+// event, or -1 if it does not exist.
+func (t *Trace) EventAt(p ProcessID, index int) int {
+	if pos, ok := t.eventAt[eventKey{p, index}]; ok {
+		return pos
+	}
+	return -1
+}
+
+// EventsOf returns the positions (into Events) of all receive events at p,
+// in order.
+func (t *Trace) EventsOf(p ProcessID) []int {
+	var out []int
+	for i, ev := range t.Events {
+		if ev.Proc == p {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// StepCount returns the number of computing steps process p executed
+// (receive events with Processed == true).
+func (t *Trace) StepCount(p ProcessID) int {
+	n := 0
+	for _, ev := range t.Events {
+		if ev.Proc == p && ev.Processed {
+			n++
+		}
+	}
+	return n
+}
+
+// CorrectProcesses returns the IDs of all non-faulty processes.
+func (t *Trace) CorrectProcesses() []ProcessID {
+	var out []ProcessID
+	for p := 0; p < t.N; p++ {
+		if !t.Faulty[p] {
+			out = append(out, ProcessID(p))
+		}
+	}
+	return out
+}
+
+// MaxTime returns the occurrence time of the last event, or 0 for an empty
+// trace.
+func (t *Trace) MaxTime() Time {
+	var max Time
+	for _, ev := range t.Events {
+		if ev.Time.Greater(max) {
+			max = ev.Time
+		}
+	}
+	return max
+}
+
+// Reassemble builds a Trace from raw parts and validates it. It is used by
+// consumers that transform traces (e.g. the Theorem 9 retiming in
+// internal/check) and must therefore rebuild the event index.
+func Reassemble(n int, events []Event, msgs []Message, faulty []bool) (*Trace, error) {
+	t := &Trace{
+		N:       n,
+		Events:  events,
+		Msgs:    msgs,
+		Faulty:  faulty,
+		eventAt: make(map[eventKey]int, len(events)),
+	}
+	// Per-process indices must be dense in order; Validate checks the
+	// rest.
+	next := make([]int, n)
+	for i, ev := range events {
+		if int(ev.Proc) >= 0 && int(ev.Proc) < n && ev.Index == next[ev.Proc] {
+			next[ev.Proc]++
+		}
+		t.eventAt[eventKey{ev.Proc, ev.Index}] = i
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Validate checks internal consistency of the trace: event indices are
+// dense and per-process increasing, message recv times are not before send
+// times, and triggers resolve. It is used by tests and by cmd/abccheck when
+// loading external traces.
+func (t *Trace) Validate() error {
+	if t.N <= 0 {
+		return fmt.Errorf("sim: trace has N = %d", t.N)
+	}
+	if len(t.Faulty) != t.N {
+		return fmt.Errorf("sim: Faulty has length %d, want %d", len(t.Faulty), t.N)
+	}
+	next := make([]int, t.N)
+	for i, ev := range t.Events {
+		if ev.Proc < 0 || int(ev.Proc) >= t.N {
+			return fmt.Errorf("sim: event %d has process %d out of range", i, ev.Proc)
+		}
+		if ev.Index != next[ev.Proc] {
+			return fmt.Errorf("sim: event %d at p%d has index %d, want %d", i, ev.Proc, ev.Index, next[ev.Proc])
+		}
+		next[ev.Proc]++
+		if ev.Trigger < 0 || int(ev.Trigger) >= len(t.Msgs) {
+			return fmt.Errorf("sim: event %d has dangling trigger %d", i, ev.Trigger)
+		}
+		m := t.Msgs[ev.Trigger]
+		if m.To != ev.Proc {
+			return fmt.Errorf("sim: event %d at p%d triggered by message to p%d", i, ev.Proc, m.To)
+		}
+		if !m.RecvTime.Equal(ev.Time) {
+			return fmt.Errorf("sim: event %d time %v != message recv time %v", i, ev.Time, m.RecvTime)
+		}
+	}
+	for i, m := range t.Msgs {
+		if int(m.ID) != i {
+			return fmt.Errorf("sim: message %d has ID %d", i, m.ID)
+		}
+		if !m.IsWakeup() && m.RecvTime.Less(m.SendTime) {
+			return fmt.Errorf("sim: message %d received at %v before sent at %v", i, m.RecvTime, m.SendTime)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,38 @@
+package sim
+
+import "container/heap"
+
+// delivery is a scheduled message reception.
+type delivery struct {
+	at  Time
+	seq int64 // insertion order; total tie-break for determinism
+	msg MsgID
+}
+
+// deliveryQueue is a min-heap ordered by (at, seq).
+type deliveryQueue []delivery
+
+func (q deliveryQueue) Len() int { return len(q) }
+
+func (q deliveryQueue) Less(i, j int) bool {
+	if c := q[i].at.Cmp(q[j].at); c != 0 {
+		return c < 0
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q deliveryQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+
+func (q *deliveryQueue) Push(x any) { *q = append(*q, x.(delivery)) }
+
+func (q *deliveryQueue) Pop() any {
+	old := *q
+	n := len(old)
+	d := old[n-1]
+	*q = old[:n-1]
+	return d
+}
+
+func (q *deliveryQueue) push(d delivery) { heap.Push(q, d) }
+
+func (q *deliveryQueue) pop() delivery { return heap.Pop(q).(delivery) }

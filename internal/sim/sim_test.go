@@ -1,0 +1,425 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/rat"
+)
+
+// echo replies to every ping with a pong, up to a budget.
+type echo struct {
+	pings  int
+	budget int
+}
+
+type ping struct{ Hop int }
+
+func (e *echo) Step(env *Env, msg Message) {
+	switch m := msg.Payload.(type) {
+	case Wakeup:
+		if env.Self() == 0 {
+			env.Send(1, ping{Hop: 0})
+		}
+	case ping:
+		e.pings++
+		if m.Hop < e.budget {
+			to := ProcessID(1 - int(env.Self()))
+			env.Send(to, ping{Hop: m.Hop + 1})
+		}
+		env.SetNote(m.Hop)
+	}
+}
+
+func twoProcConfig(budget int) Config {
+	return Config{
+		N:      2,
+		Spawn:  func(p ProcessID) Process { return &echo{budget: budget} },
+		Delays: ConstantDelay{D: rat.One},
+	}
+}
+
+func TestPingPong(t *testing.T) {
+	res, err := Run(twoProcConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := res.Trace
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if res.Truncated {
+		t.Error("run unexpectedly truncated")
+	}
+	// 2 wake-ups + 6 pings (hops 0..5).
+	if got := len(tr.Events); got != 8 {
+		t.Errorf("got %d events, want 8", got)
+	}
+	// Notes record hop numbers on ping steps.
+	var hops []int
+	for _, ev := range tr.Events {
+		if h, ok := ev.Note.(int); ok {
+			hops = append(hops, h)
+		}
+	}
+	if want := []int{0, 1, 2, 3, 4, 5}; !reflect.DeepEqual(hops, want) {
+		t.Errorf("hops = %v, want %v", hops, want)
+	}
+	// Times advance by one per hop.
+	last := tr.Events[len(tr.Events)-1]
+	if !last.Time.Equal(rat.FromInt(6)) {
+		t.Errorf("final event at %v, want 6", last.Time)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() *Trace {
+		cfg := Config{
+			N:      3,
+			Spawn:  func(p ProcessID) Process { return &echo{budget: 10} },
+			Delays: UniformDelay{Min: rat.One, Max: rat.FromInt(3)},
+			Seed:   42,
+		}
+		cfg.Spawn = func(p ProcessID) Process {
+			return ProcessFunc(func(env *Env, msg Message) {
+				if _, ok := msg.Payload.(Wakeup); ok {
+					env.Broadcast(ping{})
+				}
+			})
+		}
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Trace
+	}
+	a, b := run(), run()
+	if len(a.Events) != len(b.Events) || len(a.Msgs) != len(b.Msgs) {
+		t.Fatalf("nondeterministic sizes: %d/%d events, %d/%d msgs",
+			len(a.Events), len(b.Events), len(a.Msgs), len(b.Msgs))
+	}
+	for i := range a.Events {
+		ea, eb := a.Events[i], b.Events[i]
+		if ea.Proc != eb.Proc || ea.Index != eb.Index || !ea.Time.Equal(eb.Time) {
+			t.Fatalf("event %d differs: %+v vs %+v", i, ea, eb)
+		}
+	}
+}
+
+func TestWakeupFirst(t *testing.T) {
+	// Process 1 starts late; a zero-delay message sent to it at time 0 must
+	// still be received only at/after its wake-up, and after the wake-up in
+	// delivery order.
+	var order []string
+	cfg := Config{
+		N: 2,
+		Spawn: func(p ProcessID) Process {
+			return ProcessFunc(func(env *Env, msg Message) {
+				switch msg.Payload.(type) {
+				case Wakeup:
+					order = append(order, "wake")
+					if env.Self() == 0 {
+						env.Send(1, ping{})
+					}
+				case ping:
+					order = append(order, "ping")
+				}
+			})
+		},
+		Delays:     ConstantDelay{D: rat.Zero},
+		StartTimes: []Time{rat.Zero, rat.FromInt(10)},
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"wake", "wake", "ping"}
+	if !reflect.DeepEqual(order, want) {
+		t.Errorf("order = %v, want %v", order, want)
+	}
+	// The ping's receive time is clamped to the wake-up time.
+	var pingMsg *Message
+	for i := range res.Trace.Msgs {
+		if _, ok := res.Trace.Msgs[i].Payload.(ping); ok {
+			pingMsg = &res.Trace.Msgs[i]
+		}
+	}
+	if pingMsg == nil {
+		t.Fatal("ping message not found")
+	}
+	if !pingMsg.RecvTime.Equal(rat.FromInt(10)) {
+		t.Errorf("ping received at %v, want 10", pingMsg.RecvTime)
+	}
+}
+
+func TestCrashFault(t *testing.T) {
+	cfg := twoProcConfig(10)
+	cfg.Faults = map[ProcessID]Fault{1: Crash(2)} // wake-up + one ping
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := res.Trace
+	if !tr.Faulty[1] || tr.Faulty[0] {
+		t.Errorf("Faulty = %v, want [false true]", tr.Faulty)
+	}
+	if got := tr.StepCount(1); got != 2 {
+		t.Errorf("crashed process executed %d steps, want 2", got)
+	}
+	// Receive events at the crashed process still occur (Processed=false).
+	sawUnprocessed := false
+	for _, ev := range tr.Events {
+		if ev.Proc == 1 && !ev.Processed {
+			sawUnprocessed = true
+		}
+	}
+	if !sawUnprocessed {
+		t.Error("no unprocessed receive event at crashed process")
+	}
+}
+
+func TestSilentProcess(t *testing.T) {
+	cfg := twoProcConfig(3)
+	cfg.Faults = map[ProcessID]Fault{1: Silent()}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Trace.StepCount(1); got != 0 {
+		t.Errorf("silent process executed %d steps, want 0", got)
+	}
+	if res.Trace.StepCount(0) != 1 {
+		t.Errorf("process 0 should only execute its wake-up")
+	}
+}
+
+func TestByzantineFault(t *testing.T) {
+	// Byzantine process 1 replies with forged hop numbers.
+	byz := ProcessFunc(func(env *Env, msg Message) {
+		if _, ok := msg.Payload.(ping); ok {
+			env.Send(0, ping{Hop: 999})
+		}
+	})
+	cfg := twoProcConfig(3)
+	cfg.Faults = map[ProcessID]Fault{1: ByzantineFault(byz)}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forged := false
+	for _, m := range res.Trace.Msgs {
+		if p, ok := m.Payload.(ping); ok && p.Hop == 999 {
+			forged = true
+		}
+	}
+	if !forged {
+		t.Error("Byzantine handler did not run")
+	}
+}
+
+func TestScriptedSends(t *testing.T) {
+	got := 0
+	cfg := Config{
+		N: 2,
+		Spawn: func(p ProcessID) Process {
+			return ProcessFunc(func(env *Env, msg Message) {
+				if s, ok := msg.Payload.(string); ok && s == "scripted" {
+					got++
+				}
+			})
+		},
+		Delays: ConstantDelay{D: rat.One},
+		Faults: map[ProcessID]Fault{1: {
+			CrashAfter: NeverCrash,
+			Script: []ScriptedSend{
+				{At: rat.FromInt(5), To: 0, Payload: "scripted"},
+				{At: rat.FromInt(7), To: 0, Payload: "scripted"},
+			},
+		}},
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 2 {
+		t.Errorf("received %d scripted messages, want 2", got)
+	}
+	// Scripted messages carry the faulty sender's ID.
+	for _, m := range res.Trace.Msgs {
+		if s, ok := m.Payload.(string); ok && s == "scripted" {
+			if m.From != 1 || m.SendStep != SendStepScripted {
+				t.Errorf("scripted message attribution wrong: %+v", m)
+			}
+		}
+	}
+}
+
+func TestMaxEventsTruncation(t *testing.T) {
+	// Two processes ping forever.
+	cfg := Config{
+		N: 2,
+		Spawn: func(p ProcessID) Process {
+			return ProcessFunc(func(env *Env, msg Message) {
+				switch msg.Payload.(type) {
+				case Wakeup:
+					if env.Self() == 0 {
+						env.Send(1, ping{})
+					}
+				case ping:
+					env.Send(ProcessID(1-int(env.Self())), ping{})
+				}
+			})
+		},
+		Delays:    ConstantDelay{D: rat.One},
+		MaxEvents: 50,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Truncated {
+		t.Error("expected truncation")
+	}
+	if len(res.Trace.Events) > 50 {
+		t.Errorf("%d events exceed MaxEvents", len(res.Trace.Events))
+	}
+}
+
+func TestUntilPredicate(t *testing.T) {
+	cfg := twoProcConfig(100)
+	cfg.Until = func(procs []Process) bool {
+		return procs[0].(*echo).pings >= 3
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Truncated {
+		t.Error("Until stop reported as truncation")
+	}
+	if got := res.Procs[0].(*echo).pings; got != 3 {
+		t.Errorf("stopped at %d pings, want 3", got)
+	}
+}
+
+func TestTopologyRestriction(t *testing.T) {
+	// Ring topology 0->1->2->0; broadcast reaches only the next process.
+	recv := make([]int, 3)
+	cfg := Config{
+		N: 3,
+		Spawn: func(p ProcessID) Process {
+			return ProcessFunc(func(env *Env, msg Message) {
+				switch msg.Payload.(type) {
+				case Wakeup:
+					env.Broadcast("hi")
+				case string:
+					recv[env.Self()]++
+				}
+			})
+		},
+		Topology: func(from, to ProcessID) bool { return (int(from)+1)%3 == int(to) },
+		Delays:   ConstantDelay{D: rat.One},
+	}
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(recv, []int{1, 1, 1}) {
+		t.Errorf("receive counts %v, want [1 1 1]", recv)
+	}
+}
+
+func TestSendOutsideTopologyPanics(t *testing.T) {
+	cfg := Config{
+		N: 2,
+		Spawn: func(p ProcessID) Process {
+			return ProcessFunc(func(env *Env, msg Message) {
+				if _, ok := msg.Payload.(Wakeup); ok && env.Self() == 0 {
+					env.Send(1, "x")
+				}
+			})
+		},
+		Topology: func(from, to ProcessID) bool { return false },
+		Delays:   ConstantDelay{D: rat.One},
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("send outside topology did not panic")
+		}
+	}()
+	_, _ = Run(cfg)
+}
+
+func TestConfigValidation(t *testing.T) {
+	valid := twoProcConfig(1)
+	tests := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"zero N", func(c *Config) { c.N = 0 }},
+		{"nil spawn", func(c *Config) { c.Spawn = nil }},
+		{"nil delays", func(c *Config) { c.Delays = nil }},
+		{"bad start times", func(c *Config) { c.StartTimes = []Time{rat.Zero} }},
+		{"fault out of range", func(c *Config) { c.Faults = map[ProcessID]Fault{5: Crash(1)} }},
+		{"bad crash after", func(c *Config) { c.Faults = map[ProcessID]Fault{0: {CrashAfter: -7}} }},
+	}
+	for _, tt := range tests {
+		cfg := valid
+		tt.mutate(&cfg)
+		if _, err := Run(cfg); err == nil {
+			t.Errorf("%s: no error", tt.name)
+		}
+	}
+}
+
+func TestZeroDelayMessages(t *testing.T) {
+	// Zero delays are explicitly allowed by the ABC model (Fig. 1's m3).
+	res, err := Run(Config{
+		N: 2,
+		Spawn: func(p ProcessID) Process {
+			return ProcessFunc(func(env *Env, msg Message) {
+				if _, ok := msg.Payload.(Wakeup); ok && env.Self() == 0 {
+					env.Send(1, ping{})
+				}
+			})
+		},
+		Delays: ConstantDelay{D: rat.Zero},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := res.Trace
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range tr.Msgs {
+		if _, ok := m.Payload.(ping); ok && !m.RecvTime.Equal(m.SendTime) {
+			t.Errorf("zero-delay message has recv %v != send %v", m.RecvTime, m.SendTime)
+		}
+	}
+}
+
+func TestTraceAccessors(t *testing.T) {
+	res, err := Run(twoProcConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := res.Trace
+	if pos := tr.EventAt(0, 0); pos < 0 || tr.Events[pos].Proc != 0 || tr.Events[pos].Index != 0 {
+		t.Errorf("EventAt(0,0) = %d", pos)
+	}
+	if pos := tr.EventAt(0, 99); pos != -1 {
+		t.Errorf("EventAt(0,99) = %d, want -1", pos)
+	}
+	if got := tr.CorrectProcesses(); len(got) != 2 {
+		t.Errorf("CorrectProcesses = %v", got)
+	}
+	evs := tr.EventsOf(1)
+	for _, pos := range evs {
+		if tr.Events[pos].Proc != 1 {
+			t.Errorf("EventsOf(1) contains event of p%d", tr.Events[pos].Proc)
+		}
+	}
+	if tr.MaxTime().Sign() <= 0 {
+		t.Error("MaxTime not positive")
+	}
+}
