@@ -1,0 +1,36 @@
+GO ?= go
+
+# Headline benchmarks guarded per-PR: the exact-arithmetic substrate and
+# its two heaviest consumers. Keep in sync with .github/workflows/ci.yml.
+BENCH_SMOKE = BenchmarkChecker|BenchmarkMaxRelevantRatio|BenchmarkSimulator
+
+.PHONY: all build vet test race bench-smoke fuzz-smoke ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# bench-smoke runs the three headline benchmarks briefly — enough to catch
+# order-of-magnitude regressions in the arithmetic layer, not to replace a
+# real benchstat comparison.
+bench-smoke:
+	$(GO) test -run=NONE -bench='$(BENCH_SMOKE)' -benchmem -benchtime=10x .
+
+# fuzz-smoke gives each differential fuzz target a short budget; the seed
+# corpus already pins the int64 overflow boundary, so even 10s runs cross
+# the promotion/demotion paths.
+fuzz-smoke:
+	$(GO) test -run=NONE -fuzz=FuzzArith -fuzztime=10s ./internal/rat
+	$(GO) test -run=NONE -fuzz=FuzzParse -fuzztime=10s ./internal/rat
+
+ci: vet race bench-smoke

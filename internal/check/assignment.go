@@ -54,8 +54,12 @@ func (a *Assignment) MinMaxMessageDelay() (min, max rat.Rat, ok bool) {
 			min, max, ok = d, d, true
 			continue
 		}
-		min = rat.Min(min, d)
-		max = rat.Max(max, d)
+		// One comparison per bound instead of rat.Min+rat.Max's two.
+		if d.Less(min) {
+			min = d
+		} else if d.Greater(max) {
+			max = d
+		}
 	}
 	return min, max, ok
 }

@@ -64,7 +64,11 @@ func ABC(g *causality.Graph, xi rat.Rat) (Verdict, error) {
 		return Verdict{}, ErrXiOutOfRange
 	}
 	a, b := xi.Num(), xi.Den()
-	return run(g, a, b, true)
+	p, err := newProber(g)
+	if err != nil {
+		return Verdict{}, err
+	}
+	return p.probe(a, b, true)
 }
 
 // constraint edge label encoding: label = 3*edgeID + kind.
@@ -74,43 +78,71 @@ const (
 	labelLocal = 2 // local edge, traversed backward
 )
 
-// run builds the scaled constraint digraph for Ξ = a/b and solves it.
-// wantCerts controls whether certificates (assignment/witness) are built.
-func run(g *causality.Graph, a, b int64, wantCerts bool) (Verdict, error) {
+// prober is a reusable admissibility oracle for one execution graph. The
+// constraint digraph topology does not depend on the probed ratio — only
+// the edge weights do — so it is built once and re-weighted per probe.
+// This matters for the Stern–Brocot critical-ratio search, which issues
+// O(log² K) probes against the same graph.
+type prober struct {
+	g  *causality.Graph
+	cg *graphutil.Digraph
+	e  int64 // constraint-relevant execution edges
+	v  int64 // execution nodes
+}
+
+// newProber validates the execution graph and builds the constraint
+// digraph topology with placeholder weights.
+func newProber(g *causality.Graph) (*prober, error) {
 	if !g.Digraph().IsDAG() {
-		return Verdict{}, errors.New("check: execution graph is not a DAG")
+		return nil, errors.New("check: execution graph is not a DAG")
 	}
 	edges := g.Edges()
-	e := int64(len(edges))
-	s := e + 1 // strictness scale
-	v := int64(g.NumNodes())
-	// Overflow guard: the largest |path sum| is bounded by (V+1)·max|w|,
-	// with max|w| <= max(a,b)·S + 1.
-	maxW := a
-	if b > maxW {
-		maxW = b
-	}
-	if maxW > 0 && (v+2) > math.MaxInt64/(maxW*s+1) {
-		return Verdict{}, fmt.Errorf("check: graph too large for exact int64 arithmetic (V=%d, E=%d, Ξ=%d/%d)", v, e, a, b)
-	}
-
 	cg := graphutil.New(g.NumNodes())
 	for i, edge := range edges {
 		switch edge.Kind {
 		case causality.Message:
-			// t(v) - t(u) < a/b  =>  T(v) - T(u) <= a·S − 1.
-			cg.AddEdge(int(edge.From), int(edge.To), a*s-1, int32(3*i+labelUpper))
-			// t(v) - t(u) > 1    =>  T(u) - T(v) <= −b·S − 1.
-			cg.AddEdge(int(edge.To), int(edge.From), -b*s-1, int32(3*i+labelLower))
+			cg.AddEdge(int(edge.From), int(edge.To), 0, int32(3*i+labelUpper))
+			cg.AddEdge(int(edge.To), int(edge.From), 0, int32(3*i+labelLower))
 		case causality.Local:
-			// t(v) - t(u) > 0    =>  T(u) - T(v) <= −1.
-			cg.AddEdge(int(edge.To), int(edge.From), -1, int32(3*i+labelLocal))
+			cg.AddEdge(int(edge.To), int(edge.From), 0, int32(3*i+labelLocal))
 		default:
-			return Verdict{}, fmt.Errorf("check: unknown edge kind %v", edge.Kind)
+			return nil, fmt.Errorf("check: unknown edge kind %v", edge.Kind)
+		}
+	}
+	return &prober{g: g, cg: cg, e: int64(len(edges)), v: int64(g.NumNodes())}, nil
+}
+
+// probe solves the scaled constraint system for Ξ = a/b. wantCerts
+// controls whether certificates (assignment/witness) are built.
+func (p *prober) probe(a, b int64, wantCerts bool) (Verdict, error) {
+	s := p.e + 1 // strictness scale
+	// Overflow guard: the largest |path sum| is bounded by (V+1)·max|w|,
+	// with max|w| <= max(a,b)·S + 1. Guard the guard's own products too:
+	// maxW·s+1 must not wrap before it is used as a divisor.
+	maxW := a
+	if b > maxW {
+		maxW = b
+	}
+	if maxW > 0 && (maxW > (math.MaxInt64-1)/s || (p.v+2) > math.MaxInt64/(maxW*s+1)) {
+		return Verdict{}, fmt.Errorf("check: graph too large for exact int64 arithmetic (V=%d, E=%d, Ξ=%d/%d)", p.v, p.e, a, b)
+	}
+
+	for i, ce := range p.cg.Edges() {
+		switch ce.Label % 3 {
+		case labelUpper:
+			// t(v) - t(u) < a/b  =>  T(v) - T(u) <= a·S − 1.
+			p.cg.SetWeight(i, a*s-1)
+		case labelLower:
+			// t(v) - t(u) > 1    =>  T(u) - T(v) <= −b·S − 1.
+			p.cg.SetWeight(i, -b*s-1)
+		case labelLocal:
+			// t(v) - t(u) > 0    =>  T(u) - T(v) <= −1.
+			p.cg.SetWeight(i, -1)
 		}
 	}
 
-	res := cg.BellmanFord()
+	g := p.g
+	res := p.cg.BellmanFord()
 	if res.Feasible {
 		verdict := Verdict{Admissible: true}
 		if wantCerts {

@@ -22,7 +22,16 @@ func Constrained(g *causality.Graph) (bool, error) {
 	if k < 2 {
 		return false, nil // a relevant cycle needs |Z+| >= 1 and |Z−| >= 1
 	}
-	v, err := run(g, k, k-1, false)
+	p, err := newProber(g)
+	if err != nil {
+		return false, err
+	}
+	return p.constrained(k)
+}
+
+// constrained is Constrained for an already-built prober.
+func (p *prober) constrained(k int64) (bool, error) {
+	v, err := p.probe(k, k-1, false)
 	if err != nil {
 		return false, err
 	}
@@ -43,8 +52,8 @@ func Constrained(g *causality.Graph) (bool, error) {
 // with O(log² K) oracle calls.
 func MaxRelevantRatio(g *causality.Graph) (ratio rat.Rat, found bool, err error) {
 	k := int64(g.MessageCount())
-	if k == 0 {
-		return rat.Zero, false, nil
+	if k < 2 {
+		return rat.Zero, false, nil // a relevant cycle needs |Z+| >= 1 and |Z−| >= 1
 	}
 	if k > 1<<20 {
 		return rat.Zero, false, errors.New("check: graph too large for exact ratio search")
@@ -53,15 +62,21 @@ func MaxRelevantRatio(g *causality.Graph) (ratio rat.Rat, found bool, err error)
 	// with den <= k, and Stern–Brocot neighbors stay within (k+2)², so the
 	// cap never cuts off a reachable answer; it only bounds galloping.
 	maxNum := (k + 2) * (k + 2)
+	// One prober serves every Bellman–Ford probe of the search: the
+	// constraint topology is fixed, only weights change per candidate.
+	p, err := newProber(g)
+	if err != nil {
+		return rat.Zero, false, err
+	}
 	violated := func(num, den int64) (bool, error) {
-		v, err := run(g, num, den, false)
+		v, err := p.probe(num, den, false)
 		if err != nil {
 			return false, err
 		}
 		return !v.Admissible, nil
 	}
 
-	has, err := Constrained(g)
+	has, err := p.constrained(k)
 	if err != nil {
 		return rat.Zero, false, err
 	}

@@ -52,6 +52,12 @@ func (g *Digraph) AddEdge(from, to int, weight int64, label int32) {
 // Edges returns the edge list. The caller must not modify the result.
 func (g *Digraph) Edges() []Edge { return g.edges }
 
+// SetWeight updates the weight of edge i (in insertion order). It allows
+// callers that probe the same topology under many weightings — like the
+// Stern–Brocot critical-ratio search — to reuse one graph instead of
+// rebuilding it per probe.
+func (g *Digraph) SetWeight(i int, weight int64) { g.edges[i].Weight = weight }
+
 // Grow adds k nodes and returns the index of the first new node.
 func (g *Digraph) Grow(k int) int {
 	first := g.n

@@ -133,7 +133,9 @@ func (s *System) Solve() (Solution, error) {
 			// this elimination stage).
 			residual := tr.row.B
 			for j := 0; j < k; j++ {
-				residual = residual.Sub(tr.row.Coeffs[j].Mul(x[j]))
+				if cj := tr.row.Coeffs[j]; cj.Sign() != 0 {
+					residual = residual.Sub(cj.Mul(x[j]))
+				}
 			}
 			bound := residual.Div(c)
 			if c.Sign() > 0 { // x_k < bound
@@ -160,6 +162,21 @@ func (s *System) Solve() (Solution, error) {
 	return Solution{Feasible: true, X: x}, nil
 }
 
+// mulAddSparse returns a·l + b·u, skipping the arithmetic for zero
+// entries. Rows and multiplier vectors are sparse (bound rows have one or
+// two nonzero entries), so most slots take the zero-value shortcut.
+func mulAddSparse(a, b, l, u rat.Rat) rat.Rat {
+	switch {
+	case l.Sign() == 0 && u.Sign() == 0:
+		return rat.Zero
+	case l.Sign() == 0:
+		return b.Mul(u)
+	case u.Sign() == 0:
+		return a.Mul(l)
+	}
+	return a.Mul(l).Add(b.Mul(u))
+}
+
 // combine eliminates x_k from a lower row (negative coefficient) and an
 // upper row (positive coefficient) with positive multipliers, preserving
 // strictness and provenance.
@@ -170,11 +187,11 @@ func combine(lo, up trackedRow, k, numVars, numOrig int) trackedRow {
 	a, b := cu, cl.Neg()
 	coeffs := make([]rat.Rat, numVars)
 	for j := 0; j < numVars; j++ {
-		coeffs[j] = a.Mul(lo.row.Coeffs[j]).Add(b.Mul(up.row.Coeffs[j]))
+		coeffs[j] = mulAddSparse(a, b, lo.row.Coeffs[j], up.row.Coeffs[j])
 	}
 	mult := make([]rat.Rat, numOrig)
 	for i := 0; i < numOrig; i++ {
-		mult[i] = a.Mul(lo.mult[i]).Add(b.Mul(up.mult[i]))
+		mult[i] = mulAddSparse(a, b, lo.mult[i], up.mult[i])
 	}
 	return trackedRow{
 		row: Row{
@@ -194,6 +211,9 @@ func (s *System) Verify(x []rat.Rat) error {
 	for i, r := range s.Rows {
 		lhs := rat.Zero
 		for j, c := range r.Coeffs {
+			if c.Sign() == 0 {
+				continue
+			}
 			lhs = lhs.Add(c.Mul(x[j]))
 		}
 		if !lhs.Less(r.B) {
@@ -224,6 +244,9 @@ func (s *System) VerifyCertificate(y []rat.Rat) error {
 	for j := 0; j < s.NumVars; j++ {
 		col := rat.Zero
 		for i, r := range s.Rows {
+			if y[i].Sign() == 0 || r.Coeffs[j].Sign() == 0 {
+				continue
+			}
 			col = col.Add(y[i].Mul(r.Coeffs[j]))
 		}
 		if col.Sign() != 0 {

@@ -1,0 +1,88 @@
+package rat
+
+// Micro-benchmarks separating the small-word fast path from the promoted
+// big path, with the pre-rewrite implementation's cost visible as the
+// bigrat reference series (every op through a freshly allocated big.Rat,
+// exactly what the old wrapper did). Run with
+//
+//	go test -bench=. -benchmem ./internal/rat
+import (
+	"math/big"
+	"testing"
+)
+
+var sinkRat Rat
+var sinkInt int
+
+func benchOperands(form string) (Rat, Rat) {
+	switch form {
+	case "small":
+		return New(355, 113), New(-113, 355)
+	case "big":
+		return MustParse("36893488147419103232/3"), MustParse("-7/18446744073709551629")
+	}
+	panic("unknown form")
+}
+
+func BenchmarkRatAdd(b *testing.B) {
+	for _, form := range []string{"small", "big"} {
+		x, y := benchOperands(form)
+		b.Run(form, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sinkRat = x.Add(y)
+			}
+		})
+	}
+}
+
+func BenchmarkRatMul(b *testing.B) {
+	for _, form := range []string{"small", "big"} {
+		x, y := benchOperands(form)
+		b.Run(form, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sinkRat = x.Mul(y)
+			}
+		})
+	}
+}
+
+func BenchmarkRatCmp(b *testing.B) {
+	for _, form := range []string{"small", "big"} {
+		x, y := benchOperands(form)
+		b.Run(form, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sinkInt = x.Cmp(y)
+			}
+		})
+	}
+}
+
+func BenchmarkRatNew(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sinkRat = New(int64(i)|1, 360)
+	}
+}
+
+// BenchmarkBigRatReference is the old implementation's cost model: one
+// big.Rat allocation per operation regardless of magnitude.
+func BenchmarkBigRatReference(b *testing.B) {
+	x, y := big.NewRat(355, 113), big.NewRat(-113, 355)
+	b.Run("add", func(b *testing.B) {
+		b.ReportAllocs()
+		var sink *big.Rat
+		for i := 0; i < b.N; i++ {
+			sink = new(big.Rat).Add(x, y)
+		}
+		_ = sink
+	})
+	b.Run("cmp", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sinkInt = x.Cmp(y)
+		}
+	})
+}

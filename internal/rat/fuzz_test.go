@@ -1,0 +1,102 @@
+package rat
+
+// Fuzz targets cross-checking the two-representation Rat against the pure
+// big.Rat oracle on fuzzer-chosen inputs. The seed corpus pins the int64
+// overflow boundary from both sides (±2^62, MaxInt64, MinInt64, coprime
+// near-overflow pairs) so even short fuzz runs exercise promotion and
+// demotion. Run with
+//
+//	go test -fuzz=FuzzArith -fuzztime=30s ./internal/rat
+//	go test -fuzz=FuzzParse -fuzztime=30s ./internal/rat
+import (
+	"math"
+	"math/big"
+	"testing"
+)
+
+// fuzzCheckRep is checkRep for fuzz targets (testing.F shares t.Helper
+// semantics through the inner *testing.T).
+func fuzzAgree(t *testing.T, what string, x Rat, oracle *big.Rat) {
+	t.Helper()
+	if x.br == nil {
+		n, d := x.parts()
+		if d <= 0 || n == math.MinInt64 || (n != 0 && gcd(abs64(n), uint64(d)) != 1) {
+			t.Fatalf("%s: invalid small form %d/%d", what, n, d)
+		}
+	} else if n, d := x.br.Num(), x.br.Denom(); n.IsInt64() && d.IsInt64() && n.Int64() != math.MinInt64 {
+		t.Fatalf("%s: missed demotion of %s", what, x.br.RatString())
+	}
+	if x.big().Cmp(oracle) != 0 {
+		t.Fatalf("%s: fast path %s, oracle %s", what, x.big().RatString(), oracle.RatString())
+	}
+}
+
+// FuzzArith drives the four binary operations and the comparison through
+// two fuzzer-chosen fractions and requires bit-exact oracle agreement.
+func FuzzArith(f *testing.F) {
+	seeds := [][4]int64{
+		{1, 2, 1, 3},
+		{1 << 62, 1, 1 << 62, 1},       // Add overflows into big
+		{-(1 << 62), 1, -(1 << 62), 1}, // ... in the negative direction
+		{(1 << 62) - 1, (1 << 61) - 1, (1 << 61) - 1, 1 << 62}, // coprime near-overflow pair
+		{math.MaxInt64, math.MaxInt64 - 1, math.MaxInt64 - 1, math.MaxInt64},
+		{math.MinInt64, 1, 1, math.MaxInt64},
+		{3037000499, 3037000500, 3037000500, 3037000499}, // √MaxInt64 straddle
+		{0, 1, 0, -1},
+	}
+	for _, s := range seeds {
+		f.Add(s[0], s[1], s[2], s[3])
+	}
+	f.Fuzz(func(t *testing.T, an, ad, bn, bd int64) {
+		if ad == 0 || bd == 0 {
+			return
+		}
+		a, b := New(an, ad), New(bn, bd)
+		ao, bo := big.NewRat(an, ad), big.NewRat(bn, bd)
+		fuzzAgree(t, "New(a)", a, ao)
+		fuzzAgree(t, "New(b)", b, bo)
+		fuzzAgree(t, "Add", a.Add(b), new(big.Rat).Add(ao, bo))
+		fuzzAgree(t, "Sub", a.Sub(b), new(big.Rat).Sub(ao, bo))
+		fuzzAgree(t, "Mul", a.Mul(b), new(big.Rat).Mul(ao, bo))
+		if bo.Sign() != 0 {
+			fuzzAgree(t, "Div", a.Div(b), new(big.Rat).Quo(ao, bo))
+		}
+		if got, want := a.Cmp(b), ao.Cmp(bo); got != want {
+			t.Fatalf("Cmp = %d, oracle %d", got, want)
+		}
+		if got, want := a.String(), ao.RatString(); got != want {
+			t.Fatalf("String = %q, oracle %q", got, want)
+		}
+	})
+}
+
+// FuzzParse cross-checks Parse against big.Rat.SetString on arbitrary
+// strings: both must accept or both reject, and accepted values must agree.
+func FuzzParse(f *testing.F) {
+	for _, s := range []string{
+		"3/2", "-3/2", "1.5", "-0.125", "0", "7", "",
+		"abc", "1/0", "9223372036854775807", "-9223372036854775808",
+		"4611686018427387904/4611686018427387903", // 2^62 over 2^62−1
+		"18446744073709551616/3",                  // 2^64 numerator: stays big
+		"2305843009213693951/9223372036854775807", // Mersenne 2^61−1 over MaxInt64
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		got, err := Parse(s)
+		oracle, ok := new(big.Rat).SetString(s)
+		if (err == nil) != ok {
+			t.Fatalf("Parse(%q) err=%v, oracle ok=%v", s, err, ok)
+		}
+		if err != nil {
+			return
+		}
+		fuzzAgree(t, "Parse", got, oracle)
+		// The round trip through String must be lossless.
+		back, err := Parse(got.String())
+		if err != nil {
+			t.Fatalf("Parse(String(%q)): %v", s, err)
+		}
+		fuzzAgree(t, "roundtrip", back, oracle)
+	})
+}

@@ -24,16 +24,30 @@ type ConstantDelay struct{ D Time }
 // Delay implements DelayPolicy.
 func (c ConstantDelay) Delay(Message, *rand.Rand) Time { return c.D }
 
+// quantSteps is the quantization granularity of the randomized policies.
+const quantSteps = 1 << 16
+
 // UniformDelay draws delays uniformly from the rational interval
 // [Min, Max], quantized to granularity (Max-Min)/2^16.
 type UniformDelay struct{ Min, Max Time }
 
 // Delay implements DelayPolicy.
 func (u UniformDelay) Delay(_ Message, rng *rand.Rand) Time {
-	const steps = 1 << 16
 	span := u.Max.Sub(u.Min)
-	k := rng.Int63n(steps + 1)
-	return u.Min.Add(span.Mul(rat.New(k, steps)))
+	k := rng.Int63n(quantSteps + 1)
+	return u.Min.Add(span.Mul(rat.New(k, quantSteps)))
+}
+
+// compiledUniform is UniformDelay with the policy-constant span hoisted out
+// of the per-message path. It draws from the rng exactly like UniformDelay,
+// so compiled and uncompiled runs of the same seed produce identical
+// traces.
+type compiledUniform struct{ min, span Time }
+
+// Delay implements DelayPolicy.
+func (u compiledUniform) Delay(_ Message, rng *rand.Rand) Time {
+	k := rng.Int63n(quantSteps + 1)
+	return u.min.Add(u.span.Mul(rat.New(k, quantSteps)))
 }
 
 // GrowingDelay models systems whose delays increase without bound, like the
@@ -54,10 +68,20 @@ func (g GrowingDelay) Delay(m Message, rng *rand.Rand) Time {
 	if spread.Less(rat.One) {
 		spread = rat.One
 	}
-	const steps = 1 << 16
-	k := rng.Int63n(steps + 1)
-	factor := rat.One.Add(spread.Sub(rat.One).Mul(rat.New(k, steps)))
+	k := rng.Int63n(quantSteps + 1)
+	factor := rat.One.Add(spread.Sub(rat.One).Mul(rat.New(k, quantSteps)))
 	return base.Mul(factor)
+}
+
+// compiledGrowing is GrowingDelay with the spread clamp and the constant
+// spread−1 hoisted out of the per-message path; same rng draw sequence.
+type compiledGrowing struct{ base, rate, spreadM1 Time }
+
+// Delay implements DelayPolicy.
+func (g compiledGrowing) Delay(m Message, rng *rand.Rand) Time {
+	base := g.base.Mul(rat.One.Add(g.rate.Mul(m.SendTime)))
+	k := rng.Int63n(quantSteps + 1)
+	return base.Mul(rat.One.Add(g.spreadM1.Mul(rat.New(k, quantSteps))))
 }
 
 // PerLinkDelay selects a policy per directed link, falling back to Default.
@@ -101,3 +125,32 @@ type DelayFunc func(m Message, rng *rand.Rand) Time
 
 // Delay implements DelayPolicy.
 func (f DelayFunc) Delay(m Message, rng *rand.Rand) Time { return f(m, rng) }
+
+// compileDelays returns an equivalent policy with per-policy constants
+// (UniformDelay's span, GrowingDelay's clamped spread) computed once
+// instead of per message. Composite policies are compiled recursively.
+// The returned policy draws from the rng in exactly the same sequence as
+// the original, so seeded runs are bit-identical. sim.Run applies it to
+// Config.Delays; unknown policy types pass through untouched.
+func compileDelays(p DelayPolicy) DelayPolicy {
+	switch q := p.(type) {
+	case UniformDelay:
+		return compiledUniform{min: q.Min, span: q.Max.Sub(q.Min)}
+	case GrowingDelay:
+		spread := q.Spread
+		if spread.Less(rat.One) {
+			spread = rat.One
+		}
+		return compiledGrowing{base: q.Base, rate: q.Rate, spreadM1: spread.Sub(rat.One)}
+	case PerLinkDelay:
+		links := make(map[Link]DelayPolicy, len(q.Links))
+		for l, lp := range q.Links {
+			links[l] = compileDelays(lp)
+		}
+		return PerLinkDelay{Default: compileDelays(q.Default), Links: links}
+	case OverrideDelay:
+		return OverrideDelay{Base: compileDelays(q.Base), Match: q.Match, Override: compileDelays(q.Override)}
+	default:
+		return p
+	}
+}

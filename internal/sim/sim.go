@@ -81,6 +81,7 @@ func Run(cfg Config) (*Result, error) {
 		maxEvents = defaultMaxEvents
 	}
 
+	cfg.Delays = compileDelays(cfg.Delays)
 	r := &runner{
 		cfg:   cfg,
 		rng:   rand.New(rand.NewSource(cfg.Seed)),
