@@ -4,7 +4,7 @@ GO ?= go
 # its two heaviest consumers. Keep in sync with .github/workflows/ci.yml.
 BENCH_SMOKE = BenchmarkChecker|BenchmarkMaxRelevantRatio|BenchmarkSimulator
 
-.PHONY: all build vet test race bench-smoke fuzz-smoke ci
+.PHONY: all build vet test race bench-smoke fuzz-smoke fleet-ci fleet-bench cover ci
 
 all: build
 
@@ -33,4 +33,23 @@ fuzz-smoke:
 	$(GO) test -run=NONE -fuzz=FuzzArith -fuzztime=10s ./internal/rat
 	$(GO) test -run=NONE -fuzz=FuzzParse -fuzztime=10s ./internal/rat
 
-ci: vet race bench-smoke
+# fleet-ci mirrors the CI "fleet" job: the golden-trace determinism and
+# engine-hermeticity suites under the race detector with shuffled test
+# order, the fleet-vs-serial evaluation equivalence, and coverage for the
+# runner and sim packages.
+fleet-ci:
+	$(GO) test -race -shuffle=on -run 'Fleet|Engine|Map|Grid|Stream|Run' ./internal/runner ./internal/sim
+	$(GO) test -race -run 'TestRunAllWidthIndependent' ./internal/experiments
+	$(GO) test -cover -coverprofile=cover.out ./internal/runner ./internal/sim
+	$(GO) tool cover -func=cover.out
+
+# fleet-bench records the serial vs 8-worker wall-clock of the full E1–E16
+# evaluation through the runner (needs >= 8 hardware threads to show the
+# speedup; see DESIGN.md decision 5).
+fleet-bench:
+	$(GO) test -run=NONE -bench='BenchmarkFleetExperiments' -benchtime=3x .
+
+cover:
+	$(GO) test -cover ./internal/runner ./internal/sim
+
+ci: vet race bench-smoke fleet-ci

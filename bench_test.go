@@ -8,6 +8,7 @@ package abc
 //
 //	go test -bench=. -benchmem
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -55,6 +56,35 @@ func BenchmarkE12_ModelIndist(b *testing.B)         { benchExperiment(b, experim
 func BenchmarkE13_Variants(b *testing.B)            { benchExperiment(b, experiments.E13Variants) }
 func BenchmarkE14_Consensus(b *testing.B)           { benchExperiment(b, experiments.E14Consensus) }
 func BenchmarkE15_VLSIClockGeneration(b *testing.B) { benchExperiment(b, experiments.RunVLSI) }
+
+// BenchmarkFleetExperiments is the ISSUE 2 acceptance benchmark: the
+// complete E1–E16 evaluation through the fleet runner, serial vs 8
+// workers. Per-seed traces and experiment Rows are bit-identical across
+// widths (TestRunAllWidthIndependent); the only difference is wall-clock.
+// The ≥3x target at 8 workers requires ≥8 hardware threads — on a
+// single-core machine (GOMAXPROCS=1) both variants measure the same
+// serial execution, so read the speedup from a multicore run of
+//
+//	go test -bench=BenchmarkFleetExperiments -benchtime=3x .
+func BenchmarkFleetExperiments(b *testing.B) {
+	for _, workers := range []int{1, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			experiments.SetWorkers(workers)
+			defer experiments.SetWorkers(0)
+			for i := 0; i < b.N; i++ {
+				results, err := experiments.RunAll(context.Background(), workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, res := range results {
+					if res.Failed() {
+						b.Fatalf("%s failed", res.ID)
+					}
+				}
+			}
+		})
+	}
+}
 
 // ---------------------------------------------------------------------------
 // Substrate performance benchmarks.

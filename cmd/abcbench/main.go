@@ -1,53 +1,96 @@
 // Command abcbench regenerates the paper's evaluation: it runs every
-// experiment E1–E14 (plus the supplementary VLSI experiment) and prints a
-// claim-vs-measured table per figure/theorem, exiting non-zero if any
-// claim fails to reproduce. EXPERIMENTS.md is the recorded output of this
-// command.
+// experiment E1–E16 (the figure/theorem suite plus the supplementary VLSI
+// and related-models experiments) and prints a claim-vs-measured table per
+// figure/theorem, exiting non-zero if any claim fails to reproduce.
+// EXPERIMENTS.md is the recorded output of this command.
+//
+// The evaluation executes on the fleet runner (internal/runner): with
+// -workers W the experiments run concurrently and each experiment's
+// internal simulation batches fan out over W workers. Results are
+// bit-identical for every width — -workers only changes wall-clock time.
 //
 // Usage:
 //
-//	abcbench [-only E7]
+//	abcbench [-only E7] [-workers 8]
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
 
 	"repro/internal/experiments"
+	"repro/internal/runner"
 )
 
 func main() {
-	only := flag.String("only", "", "run only the experiment with this ID (e.g. E7)")
-	flag.Parse()
+	switch err := run(os.Args[1:], os.Stdout, os.Stderr); {
+	case err == nil:
+	case errors.Is(err, flag.ErrHelp):
+		// Usage already printed by the FlagSet; -h is not a failure.
+	default:
+		fmt.Fprintln(os.Stderr, "abcbench:", err)
+		os.Exit(1)
+	}
+}
 
-	all := experiments.All()
-	all = append(all, experiments.RunVLSI, experiments.RunRelated)
+// outcome pairs one experiment's result with its error so a failing
+// experiment does not abort the rest of the suite.
+type outcome struct {
+	res experiments.Result
+	err error
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("abcbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	only := fs.String("only", "", "print only the experiment with this ID (e.g. E7); the full suite still runs")
+	workers := fs.Int("workers", runtime.GOMAXPROCS(0),
+		"fleet width: experiments and their internal simulation batches run on this many workers (results are identical for any width)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	experiments.SetWorkers(*workers)
+	defer experiments.SetWorkers(0)
+
+	all := experiments.Everything()
+	outcomes, err := runner.Map(context.Background(), len(all), *workers,
+		func(i int) (outcome, error) {
+			res, err := all[i]()
+			return outcome{res: res, err: err}, nil
+		})
+	if err != nil {
+		return err
+	}
 
 	failed := 0
-	for _, exp := range all {
-		res, err := exp()
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: error: %v\n", res.ID, err)
+	for _, o := range outcomes {
+		if o.err != nil {
+			fmt.Fprintf(stderr, "%s: error: %v\n", o.res.ID, o.err)
 			failed++
 			continue
 		}
-		if *only != "" && res.ID != *only {
+		if *only != "" && o.res.ID != *only {
 			continue
 		}
-		fmt.Printf("=== %s: %s\n", res.ID, res.Title)
-		for _, r := range res.Rows {
+		fmt.Fprintf(stdout, "=== %s: %s\n", o.res.ID, o.res.Title)
+		for _, r := range o.res.Rows {
 			status := "ok"
 			if !r.OK {
 				status = "FAIL"
 				failed++
 			}
-			fmt.Printf("  [%-4s] %-28s paper: %-55s measured: %s\n", status, r.Name, r.Paper, r.Measured)
+			fmt.Fprintf(stdout, "  [%-4s] %-28s paper: %-55s measured: %s\n", status, r.Name, r.Paper, r.Measured)
 		}
-		fmt.Println()
+		fmt.Fprintln(stdout)
 	}
 	if failed > 0 {
-		fmt.Fprintf(os.Stderr, "%d experiment rows failed\n", failed)
-		os.Exit(1)
+		return fmt.Errorf("%d experiment rows failed", failed)
 	}
+	return nil
 }

@@ -1,0 +1,39 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunOnlyE1 smoke-tests the evaluation driver end to end on the fleet
+// runner: the suite must reproduce (exit nil) and the -only filter must
+// narrow the printed tables to the requested experiment.
+func TestRunOnlyE1(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full evaluation suite")
+	}
+	var out, errOut strings.Builder
+	if err := run([]string{"-only", "E1", "-workers", "2"}, &out, &errOut); err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errOut.String())
+	}
+	got := out.String()
+	if !strings.Contains(got, "=== E1: Fig. 1") {
+		t.Errorf("output missing E1 header:\n%s", got)
+	}
+	if strings.Contains(got, "=== E2") {
+		t.Errorf("-only E1 printed other experiments:\n%s", got)
+	}
+	if !strings.Contains(got, "[ok  ]") {
+		t.Errorf("output has no passing rows:\n%s", got)
+	}
+	if strings.Contains(got, "FAIL") {
+		t.Errorf("output has failing rows:\n%s", got)
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var out, errOut strings.Builder
+	if err := run([]string{"-no-such-flag"}, &out, &errOut); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

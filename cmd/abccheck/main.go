@@ -1,8 +1,8 @@
 // Command abccheck verifies a recorded trace (JSON, as written by
 // cmd/abcsim) against the synchrony conditions of the models implemented
 // in this repository: the ABC condition for a given Ξ, the static and
-// dynamic Θ-Model conditions, and ParSync(Φ, Δ). It exits non-zero when
-// the requested ABC check fails.
+// dynamic Θ-Model conditions, and ParSync(Φ, Δ). It exits 1 when the
+// requested ABC check fails and 2 on usage or input errors.
 //
 // Usage:
 //
@@ -10,8 +10,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/causality"
@@ -23,27 +25,42 @@ import (
 	"repro/internal/variants"
 )
 
+// errInadmissible distinguishes a sound check with a negative verdict
+// (exit 1) from infrastructure failures (exit 2).
+var errInadmissible = errors.New("trace is not ABC-admissible")
+
 func main() {
-	if err := run(); err != nil {
+	err := run(os.Args[1:], os.Stdout, os.Stderr)
+	switch {
+	case err == nil:
+	case errors.Is(err, flag.ErrHelp):
+		// Usage already printed by the FlagSet; -h is not a failure.
+	case errors.Is(err, errInadmissible):
+		os.Exit(1)
+	default:
 		fmt.Fprintln(os.Stderr, "abccheck:", err)
 		os.Exit(2)
 	}
 }
 
-func run() error {
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("abccheck", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		xiStr    = flag.String("xi", "2", "ABC parameter Ξ (rational)")
-		thetaStr = flag.String("theta", "", "also check the Θ-Model for this Θ")
-		phi      = flag.Int("phi", 0, "also check ParSync with this Φ (needs -delta)")
-		delta    = flag.Int("delta", 0, "ParSync Δ")
-		gst      = flag.Bool("gst", false, "also locate the ◇ABC stabilization index")
+		xiStr    = fs.String("xi", "2", "ABC parameter Ξ (rational)")
+		thetaStr = fs.String("theta", "", "also check the Θ-Model for this Θ")
+		phi      = fs.Int("phi", 0, "also check ParSync with this Φ (needs -delta)")
+		delta    = fs.Int("delta", 0, "ParSync Δ")
+		gst      = fs.Bool("gst", false, "also locate the ◇ABC stabilization index")
 	)
-	flag.Parse()
-	if flag.NArg() != 1 {
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
 		return fmt.Errorf("usage: abccheck [flags] trace.json")
 	}
 
-	file, err := os.Open(flag.Arg(0))
+	file, err := os.Open(fs.Arg(0))
 	if err != nil {
 		return err
 	}
@@ -58,19 +75,19 @@ func run() error {
 	}
 
 	g := causality.Build(tr, causality.Options{})
-	fmt.Printf("trace: %d processes, %d events, %d messages, %d graph nodes\n",
+	fmt.Fprintf(stdout, "trace: %d processes, %d events, %d messages, %d graph nodes\n",
 		tr.N, len(tr.Events), len(tr.Msgs), g.NumNodes())
 
 	v, err := check.ABC(g, xi)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("ABC(Ξ=%v): admissible=%v\n", xi, v.Admissible)
+	fmt.Fprintf(stdout, "ABC(Ξ=%v): admissible=%v\n", xi, v.Admissible)
 	if !v.Admissible {
-		fmt.Printf("  violating relevant cycle (|Z−|/|Z+| = %v):\n  %v\n",
+		fmt.Fprintf(stdout, "  violating relevant cycle (|Z−|/|Z+| = %v):\n  %v\n",
 			v.WitnessClass.Ratio(), *v.Witness)
 	} else if ratio, found, err := check.MaxRelevantRatio(g); err == nil && found {
-		fmt.Printf("  critical ratio: %v\n", ratio)
+		fmt.Fprintf(stdout, "  critical ratio: %v\n", ratio)
 	}
 
 	if *thetaStr != "" {
@@ -80,30 +97,30 @@ func run() error {
 		}
 		st := theta.CheckStatic(tr, th)
 		dy := theta.CheckDynamic(tr, th)
-		fmt.Printf("Θ-Model(Θ=%v): static=%v dynamic=%v", th, st.Admissible, dy.Admissible)
+		fmt.Fprintf(stdout, "Θ-Model(Θ=%v): static=%v dynamic=%v", th, st.Admissible, dy.Admissible)
 		if !st.Admissible {
-			fmt.Printf(" (static: %s)", st.Reason)
+			fmt.Fprintf(stdout, " (static: %s)", st.Reason)
 		}
-		fmt.Println()
+		fmt.Fprintln(stdout)
 	}
 	if *phi > 0 {
 		rep := parsync.Check(tr, *phi, *delta)
-		fmt.Printf("ParSync(Φ=%d, Δ=%d): admissible=%v", *phi, *delta, rep.Admissible)
+		fmt.Fprintf(stdout, "ParSync(Φ=%d, Δ=%d): admissible=%v", *phi, *delta, rep.Admissible)
 		if !rep.Admissible {
-			fmt.Printf(" (%s)", rep.Reason)
+			fmt.Fprintf(stdout, " (%s)", rep.Reason)
 		}
-		fmt.Println()
+		fmt.Fprintln(stdout)
 	}
 	if *gst {
 		idx, ok, err := variants.FindGST(tr, xi)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("◇ABC: stabilization at event index %d (ok=%v)\n", idx, ok)
+		fmt.Fprintf(stdout, "◇ABC: stabilization at event index %d (ok=%v)\n", idx, ok)
 	}
 
 	if !v.Admissible {
-		os.Exit(1)
+		return errInadmissible
 	}
 	return nil
 }

@@ -1,0 +1,105 @@
+package main
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/rat"
+	"repro/internal/scenario"
+	"repro/internal/sim"
+)
+
+// writeTrace serializes a trace to a temp file and returns its path.
+func writeTrace(t *testing.T, tr *sim.Trace) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "trace.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := tr.WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func admissibleTrace(t *testing.T) *sim.Trace {
+	t.Helper()
+	res, err := sim.Run(sim.Config{
+		N: 3,
+		Spawn: func(sim.ProcessID) sim.Process {
+			return sim.ProcessFunc(func(env *sim.Env, msg sim.Message) {
+				if env.StepIndex() < 3 {
+					env.Broadcast(env.StepIndex())
+				}
+			})
+		},
+		Delays: sim.UniformDelay{Min: rat.One, Max: rat.New(3, 2)},
+		Seed:   1, MaxEvents: 10000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Trace
+}
+
+func TestRunAdmissibleTrace(t *testing.T) {
+	path := writeTrace(t, admissibleTrace(t))
+	var out, errOut strings.Builder
+	if err := run([]string{"-xi", "2", path}, &out, &errOut); err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errOut.String())
+	}
+	got := out.String()
+	for _, want := range []string{"trace: 3 processes", "ABC(Ξ=2): admissible=true"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// TestRunInadmissibleTrace feeds Fig. 3's violating execution (ratio
+// 4/2 = Ξ = 2) and expects the sentinel that maps to exit status 1, plus
+// the witness cycle in the report.
+func TestRunInadmissibleTrace(t *testing.T) {
+	path := writeTrace(t, scenario.BuildFig3().Trace)
+	var out, errOut strings.Builder
+	err := run([]string{"-xi", "2", path}, &out, &errOut)
+	if !errors.Is(err, errInadmissible) {
+		t.Fatalf("run error = %v, want errInadmissible", err)
+	}
+	got := out.String()
+	for _, want := range []string{"admissible=false", "violating relevant cycle"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunExtraChecks(t *testing.T) {
+	path := writeTrace(t, admissibleTrace(t))
+	var out, errOut strings.Builder
+	err := run([]string{"-xi", "2", "-theta", "3", "-phi", "10", "-delta", "10", "-gst", path}, &out, &errOut)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	got := out.String()
+	for _, want := range []string{"Θ-Model(Θ=3):", "ParSync(Φ=10, Δ=10):", "◇ABC: stabilization"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	var out, errOut strings.Builder
+	if err := run([]string{}, &out, &errOut); err == nil || errors.Is(err, errInadmissible) {
+		t.Errorf("missing file arg: err = %v", err)
+	}
+	if err := run([]string{"/no/such/file.json"}, &out, &errOut); err == nil {
+		t.Error("nonexistent file accepted")
+	}
+}

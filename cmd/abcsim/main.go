@@ -4,48 +4,71 @@
 // admissibility and the exact critical ratio, export the trace as JSON for
 // cmd/abccheck, and render the space–time diagram as Graphviz DOT.
 //
+// With -runs R > 1 it becomes a fleet sweep: the R seeds seed..seed+R-1
+// are sharded across -workers goroutines by internal/runner, one summary
+// line is printed per seed (in seed order, regardless of scheduling), and
+// an aggregate footer reports admissible/inadmissible counts, total
+// events, truncations, and the maximum critical ratio across the sweep.
+// Per-seed traces are bit-identical to serial single runs of the same
+// seeds; -workers only changes wall-clock time.
+//
 // Usage:
 //
 //	abcsim -workload clocksync -n 4 -f 1 -xi 2 -target 10 -seed 1 \
 //	       -trace trace.json -dot graph.dot
+//	abcsim -workload clocksync -n 7 -f 2 -runs 100 -workers 8
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
 
 	"repro/internal/causality"
-	"repro/internal/check"
 	"repro/internal/clocksync"
 	"repro/internal/core"
 	"repro/internal/graphutil"
 	"repro/internal/lockstep"
 	"repro/internal/rat"
+	"repro/internal/runner"
 	"repro/internal/sim"
 )
 
 func main() {
-	if err := run(); err != nil {
+	switch err := run(os.Args[1:], os.Stdout, os.Stderr); {
+	case err == nil:
+	case errors.Is(err, flag.ErrHelp):
+		// Usage already printed by the FlagSet; -h is not a failure.
+	default:
 		fmt.Fprintln(os.Stderr, "abcsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("abcsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		workload = flag.String("workload", "clocksync", "clocksync | lockstep | broadcast")
-		n        = flag.Int("n", 4, "number of processes")
-		f        = flag.Int("f", 1, "Byzantine fault bound (clocksync/lockstep)")
-		xiStr    = flag.String("xi", "2", "model parameter Ξ (rational, e.g. 3/2)")
-		target   = flag.Int("target", 10, "target clock value / round / steps")
-		seed     = flag.Int64("seed", 1, "random seed")
-		minD     = flag.String("min", "1", "minimum message delay")
-		maxD     = flag.String("max", "3/2", "maximum message delay")
-		traceOut = flag.String("trace", "", "write trace JSON to this file")
-		dotOut   = flag.String("dot", "", "write execution graph DOT to this file")
+		workload = fs.String("workload", "clocksync", "clocksync | lockstep | broadcast")
+		n        = fs.Int("n", 4, "number of processes")
+		f        = fs.Int("f", 1, "Byzantine fault bound (clocksync/lockstep)")
+		xiStr    = fs.String("xi", "2", "model parameter Ξ (rational, e.g. 3/2)")
+		target   = fs.Int("target", 10, "target clock value / round / steps")
+		seed     = fs.Int64("seed", 1, "random seed (first seed of a -runs sweep)")
+		runs     = fs.Int("runs", 1, "number of seeds to run, starting at -seed")
+		workers  = fs.Int("workers", runtime.GOMAXPROCS(0), "fleet width for -runs sweeps (per-seed results are identical for any width)")
+		minD     = fs.String("min", "1", "minimum message delay")
+		maxD     = fs.String("max", "3/2", "maximum message delay")
+		traceOut = fs.String("trace", "", "write trace JSON to this file (single run only)")
+		dotOut   = fs.String("dot", "", "write execution graph DOT to this file (single run only)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	xi, err := rat.Parse(*xiStr)
 	if err != nil {
@@ -63,66 +86,123 @@ func run() error {
 	if err != nil {
 		return err
 	}
-
-	cfg := sim.Config{
-		N:      *n,
-		Delays: sim.UniformDelay{Min: min, Max: max},
-		Seed:   *seed,
+	if *runs < 1 {
+		return fmt.Errorf("-runs %d, need at least 1", *runs)
 	}
-	switch *workload {
-	case "clocksync":
-		cfg.Spawn = clocksync.Spawner(*n, *f)
-		cfg.Until = clocksync.AllReached(*target, nil)
-	case "lockstep":
-		cfg.Spawn = lockstep.Spawner(model, *n, *f, func(sim.ProcessID) lockstep.App {
-			return noopApp{}
-		})
-		cfg.Until = lockstep.AllReachedRound(*target, nil)
-	case "broadcast":
-		steps := *target
-		cfg.Spawn = func(sim.ProcessID) sim.Process {
-			return sim.ProcessFunc(func(env *sim.Env, msg sim.Message) {
-				if env.StepIndex() < steps {
-					env.Broadcast(env.StepIndex())
-				}
-			})
+	if *workers < 1 {
+		*workers = runtime.GOMAXPROCS(0)
+	}
+	if *runs > 1 && (*traceOut != "" || *dotOut != "") {
+		return fmt.Errorf("-trace/-dot exports require a single run (-runs 1)")
+	}
+
+	// mkConfig builds a fresh Config per seed: Spawn and Until closures
+	// are per-job so concurrent jobs share no state.
+	mkConfig := func(jobSeed int64) (sim.Config, error) {
+		cfg := sim.Config{
+			N:      *n,
+			Delays: sim.UniformDelay{Min: min, Max: max},
+			Seed:   jobSeed,
 		}
-	default:
-		return fmt.Errorf("unknown workload %q", *workload)
+		switch *workload {
+		case "clocksync":
+			cfg.Spawn = clocksync.Spawner(*n, *f)
+			cfg.Until = clocksync.AllReached(*target, nil)
+		case "lockstep":
+			cfg.Spawn = lockstep.Spawner(model, *n, *f, func(sim.ProcessID) lockstep.App {
+				return noopApp{}
+			})
+			cfg.Until = lockstep.AllReachedRound(*target, nil)
+		case "broadcast":
+			steps := *target
+			cfg.Spawn = func(sim.ProcessID) sim.Process {
+				return sim.ProcessFunc(func(env *sim.Env, msg sim.Message) {
+					if env.StepIndex() < steps {
+						env.Broadcast(env.StepIndex())
+					}
+				})
+			}
+		default:
+			return sim.Config{}, fmt.Errorf("unknown workload %q", *workload)
+		}
+		return cfg, nil
 	}
 
-	res, err := sim.Run(cfg)
-	if err != nil {
-		return err
-	}
-	tr := res.Trace
-	g := causality.Build(tr, causality.Options{})
-	fmt.Printf("workload=%s n=%d seed=%d: %d events, %d messages, %d graph nodes\n",
-		*workload, *n, *seed, len(tr.Events), len(tr.Msgs), g.NumNodes())
-	if res.Truncated {
-		fmt.Println("note: run truncated by event/time budget")
+	jobs := make([]runner.Job, *runs)
+	for i := range jobs {
+		jobSeed := *seed + int64(i)
+		cfg, err := mkConfig(jobSeed)
+		if err != nil {
+			return err
+		}
+		jobs[i] = runner.Job{
+			Key: fmt.Sprintf("seed=%d", jobSeed),
+			Cfg: &cfg, Xi: xi, Ratio: true,
+		}
 	}
 
-	v, err := check.ABC(g, xi)
+	results, stats, err := runner.Run(context.Background(), jobs, runner.Options{Workers: *workers})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("ABC(Ξ=%v) admissible: %v\n", xi, v.Admissible)
-	if !v.Admissible {
-		fmt.Printf("violating relevant cycle (ratio %v): %v\n", v.WitnessClass.Ratio(), *v.Witness)
+	for _, r := range results {
+		if r.Err != nil {
+			return r.Err
+		}
 	}
-	ratio, found, err := check.MaxRelevantRatio(g)
-	if err != nil {
-		return err
+
+	if *runs == 1 {
+		return reportSingle(stdout, *workload, *n, *seed, results[0], xi, *traceOut, *dotOut)
 	}
-	if found {
-		fmt.Printf("critical ratio: %v (admissible for every Ξ > %v)\n", ratio, ratio)
+
+	for _, r := range results {
+		status := "admissible"
+		if !r.Admissible() {
+			status = "INADMISSIBLE"
+		}
+		extra := ""
+		if r.RatioFound {
+			extra = fmt.Sprintf(" ratio=%v", r.Ratio)
+		}
+		if r.Sim.Truncated {
+			extra += " truncated"
+		}
+		fmt.Fprintf(stdout, "%s: %d events, %d messages, ABC(Ξ=%v) %s%s\n",
+			r.Key, len(r.Trace.Events), len(r.Trace.Msgs), xi, status, extra)
+	}
+	fmt.Fprintf(stdout, "fleet: %d runs on %d workers: %d admissible, %d inadmissible, %d truncated, %d events total\n",
+		stats.Jobs, *workers, stats.Admissible, stats.Inadmissible, stats.Truncated, stats.Events)
+	if stats.MaxRatioFound {
+		fmt.Fprintf(stdout, "max critical ratio: %v (at %s)\n", stats.MaxRatio, stats.MaxRatioKey)
 	} else {
-		fmt.Println("critical ratio: none (admissible for every Ξ > 1)")
+		fmt.Fprintln(stdout, "max critical ratio: none (all runs admissible for every Ξ > 1)")
+	}
+	return nil
+}
+
+// reportSingle preserves the original single-run report format.
+func reportSingle(stdout io.Writer, workload string, n int, seed int64, r runner.JobResult, xi rat.Rat, traceOut, dotOut string) error {
+	tr := r.Trace
+	g := r.Graph
+	fmt.Fprintf(stdout, "workload=%s n=%d seed=%d: %d events, %d messages, %d graph nodes\n",
+		workload, n, seed, len(tr.Events), len(tr.Msgs), g.NumNodes())
+	if r.Sim.Truncated {
+		fmt.Fprintln(stdout, "note: run truncated by event/time budget")
 	}
 
-	if *traceOut != "" {
-		w, err := os.Create(*traceOut)
+	fmt.Fprintf(stdout, "ABC(Ξ=%v) admissible: %v\n", xi, r.Verdict.Admissible)
+	if !r.Verdict.Admissible {
+		fmt.Fprintf(stdout, "violating relevant cycle (ratio %v): %v\n",
+			r.Verdict.WitnessClass.Ratio(), *r.Verdict.Witness)
+	}
+	if r.RatioFound {
+		fmt.Fprintf(stdout, "critical ratio: %v (admissible for every Ξ > %v)\n", r.Ratio, r.Ratio)
+	} else {
+		fmt.Fprintln(stdout, "critical ratio: none (admissible for every Ξ > 1)")
+	}
+
+	if traceOut != "" {
+		w, err := os.Create(traceOut)
 		if err != nil {
 			return err
 		}
@@ -130,10 +210,10 @@ func run() error {
 		if err := tr.WriteJSON(w); err != nil {
 			return err
 		}
-		fmt.Printf("trace written to %s\n", *traceOut)
+		fmt.Fprintf(stdout, "trace written to %s\n", traceOut)
 	}
-	if *dotOut != "" {
-		w, err := os.Create(*dotOut)
+	if dotOut != "" {
+		w, err := os.Create(dotOut)
 		if err != nil {
 			return err
 		}
@@ -154,7 +234,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("DOT written to %s\n", *dotOut)
+		fmt.Fprintf(stdout, "DOT written to %s\n", dotOut)
 	}
 	return nil
 }

@@ -1,0 +1,97 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestRunSingleBroadcast(t *testing.T) {
+	var out, errOut strings.Builder
+	args := []string{"-workload", "broadcast", "-n", "3", "-target", "3", "-seed", "1"}
+	if err := run(args, &out, &errOut); err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errOut.String())
+	}
+	got := out.String()
+	for _, want := range []string{
+		"workload=broadcast n=3 seed=1:",
+		"ABC(Ξ=2) admissible: true",
+		"critical ratio:",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunTraceExportRoundTrips(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.json")
+	var out, errOut strings.Builder
+	args := []string{"-workload", "broadcast", "-n", "3", "-target", "3", "-seed", "1", "-trace", path}
+	if err := run(args, &out, &errOut); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "trace written to "+path) {
+		t.Errorf("missing export confirmation:\n%s", out.String())
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tr, err := sim.ReadJSON(f)
+	if err != nil {
+		t.Fatalf("exported trace does not round-trip: %v", err)
+	}
+	if tr.N != 3 || len(tr.Events) == 0 {
+		t.Errorf("exported trace malformed: N=%d events=%d", tr.N, len(tr.Events))
+	}
+}
+
+// TestRunFleetSweep smoke-tests -runs batch mode and pins the CLI-level
+// determinism contract: identical output at every worker count.
+func TestRunFleetSweep(t *testing.T) {
+	outputs := make([]string, 0, 3)
+	for _, workers := range []string{"1", "2", "8"} {
+		var out, errOut strings.Builder
+		args := []string{"-workload", "broadcast", "-n", "3", "-target", "3",
+			"-seed", "1", "-runs", "5", "-workers", workers}
+		if err := run(args, &out, &errOut); err != nil {
+			t.Fatalf("workers=%s: %v (stderr: %s)", workers, err, errOut.String())
+		}
+		got := out.String()
+		for _, want := range []string{
+			"seed=1:", "seed=5:",
+			"fleet: 5 runs on " + workers + " workers: 5 admissible",
+		} {
+			if !strings.Contains(got, want) {
+				t.Errorf("workers=%s output missing %q:\n%s", workers, want, got)
+			}
+		}
+		// The per-seed body must not depend on the worker count; mask the
+		// footer's worker number before comparing.
+		outputs = append(outputs, strings.ReplaceAll(got, " on "+workers+" workers", ""))
+	}
+	if outputs[0] != outputs[1] || outputs[0] != outputs[2] {
+		t.Errorf("sweep output differs across worker counts:\n%q\n%q\n%q",
+			outputs[0], outputs[1], outputs[2])
+	}
+}
+
+func TestRunRejectsBadUsage(t *testing.T) {
+	cases := [][]string{
+		{"-workload", "no-such-workload"},
+		{"-runs", "0"},
+		{"-runs", "2", "-trace", "t.json"},
+		{"-xi", "not-a-rational"},
+	}
+	for _, args := range cases {
+		var out, errOut strings.Builder
+		if err := run(args, &out, &errOut); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+	"reflect"
 	"testing"
 )
 
@@ -24,6 +26,42 @@ func TestAllExperimentsReproduce(t *testing.T) {
 			}
 		}
 		t.Logf("%s: %s — %d rows ok", res.ID, res.Title, len(res.Rows))
+	}
+}
+
+// TestRunAllWidthIndependent pins the fleet guarantee at the evaluation
+// level: the complete E1–E16 suite produces identical Rows whether the
+// experiments (and their internal simulation batches) run serially or
+// across 4 workers. Skipped under -short for the same reason as the full
+// suite above.
+func TestRunAllWidthIndependent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full evaluation suite skipped in -short mode")
+	}
+	SetWorkers(1)
+	serial, err := RunAll(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	SetWorkers(4)
+	defer SetWorkers(0)
+	parallel, err := RunAll(context.Background(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != len(parallel) {
+		t.Fatalf("result counts differ: %d vs %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		if !reflect.DeepEqual(serial[i], parallel[i]) {
+			t.Errorf("%s: rows differ between 1 and 4 workers:\nserial:   %+v\nparallel: %+v",
+				serial[i].ID, serial[i], parallel[i])
+		}
+	}
+	for _, r := range serial {
+		if r.Failed() {
+			t.Errorf("%s failed", r.ID)
+		}
 	}
 }
 

@@ -1,0 +1,169 @@
+package runner
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"repro/internal/rat"
+	"repro/internal/sim"
+)
+
+// pointerPayload mimics workloads like lockstep whose messages carry
+// pointers: the %v rendering of such payloads would expose heap addresses
+// (allocation accidents) if trace serialization did not mask them, so the
+// golden grid must include this payload class (it once hid a hash
+// instability that int/string payloads cannot reveal).
+type pointerPayload struct {
+	Step int
+	Data *[3]int
+}
+
+// goldenJobs is the golden fleet: a grid over seeds, system sizes, delay
+// policies, fault sets, and topologies, deliberately covering every
+// randomized delay policy (the only RNG consumers), crash, silent, and
+// scripted-Byzantine faults, and both plain and pointer-carrying payloads.
+func goldenJobs(t testing.TB) []Job {
+	spawn := func(steps int) func(sim.ProcessID) sim.Process {
+		return func(sim.ProcessID) sim.Process {
+			return sim.ProcessFunc(func(env *sim.Env, msg sim.Message) {
+				if env.StepIndex() < steps {
+					env.Broadcast(env.StepIndex())
+				}
+			})
+		}
+	}
+	spawnPtr := func(steps int) func(sim.ProcessID) sim.Process {
+		return func(sim.ProcessID) sim.Process {
+			return sim.ProcessFunc(func(env *sim.Env, msg sim.Message) {
+				if env.StepIndex() < steps {
+					env.Broadcast(pointerPayload{Step: env.StepIndex(), Data: &[3]int{1, 2, env.StepIndex()}})
+				}
+			})
+		}
+	}
+	grid := Grid{
+		Name:       "golden",
+		Seeds:      Seeds(0, 4),
+		Ns:         []int{2, 5},
+		Delays:     []string{"uniform", "growing", "perlink", "override"},
+		Faults:     []string{"none", "mixed"},
+		Topologies: []string{"full", "ring"},
+		Make: func(p Point) (Job, error) {
+			cfg := sim.Config{
+				N:         p.N,
+				Spawn:     spawn(5),
+				Seed:      p.Seed,
+				MaxEvents: 50000,
+			}
+			switch p.Delay {
+			case "uniform":
+				cfg.Delays = sim.UniformDelay{Min: rat.One, Max: rat.New(3, 2)}
+			case "growing":
+				cfg.Delays = sim.GrowingDelay{Base: rat.One, Rate: rat.New(1, 20), Spread: rat.New(6, 5)}
+			case "perlink":
+				cfg.Delays = sim.PerLinkDelay{
+					Default: sim.UniformDelay{Min: rat.One, Max: rat.FromInt(2)},
+					Links: map[sim.Link]sim.DelayPolicy{
+						{From: 0, To: 1}: sim.ConstantDelay{D: rat.New(1, 2)},
+					},
+				}
+			case "override":
+				cfg.Delays = sim.OverrideDelay{
+					Base: sim.UniformDelay{Min: rat.One, Max: rat.New(3, 2)},
+					Match: func(m sim.Message) bool {
+						v, ok := m.Payload.(int)
+						return ok && v == 1
+					},
+					Override: sim.UniformDelay{Min: rat.FromInt(3), Max: rat.FromInt(5)},
+				}
+			}
+			if p.Fault == "mixed" {
+				cfg.Faults = map[sim.ProcessID]sim.Fault{
+					0: sim.Crash(3),
+					1: {CrashAfter: sim.NeverCrash, Script: []sim.ScriptedSend{
+						{At: rat.FromInt(2), To: 0, Payload: "forged"},
+					}},
+				}
+			}
+			if p.Topology == "ring" {
+				n := p.N
+				cfg.Topology = func(from, to sim.ProcessID) bool {
+					return to == (from+1)%sim.ProcessID(n) || from == to
+				}
+			}
+			return Job{Cfg: &cfg}, nil
+		},
+	}
+	jobs, err := grid.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, seed := range Seeds(0, 4) {
+		jobs = append(jobs, Job{
+			Key: fmt.Sprintf("golden/ptr-payload/seed=%d", seed),
+			Cfg: &sim.Config{
+				N: 4, Spawn: spawnPtr(5),
+				Delays: sim.UniformDelay{Min: rat.One, Max: rat.New(3, 2)},
+				Seed:   seed, MaxEvents: 50000,
+			},
+		})
+	}
+	return jobs
+}
+
+// TestFleetGoldenTraceDeterminism is the bit-identity contract of the
+// fleet: for every job in the golden grid, the trace produced by the
+// parallel runner hashes identically to a serial sim.Run of the same
+// Config, for every worker count in {1, 2, 8}. The test body is
+// order-independent, so it holds under go test -shuffle=on (which CI
+// runs).
+func TestFleetGoldenTraceDeterminism(t *testing.T) {
+	jobs := goldenJobs(t)
+
+	// Golden hashes from the strictly serial path.
+	golden := make([]uint64, len(jobs))
+	for i, job := range jobs {
+		res, err := sim.Run(*job.Cfg)
+		if err != nil {
+			t.Fatalf("serial %s: %v", job.Key, err)
+		}
+		golden[i] = res.Trace.Hash()
+	}
+
+	for _, workers := range []int{1, 2, 8} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			results, stats, err := Run(context.Background(), jobs, Options{Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if stats.Errored != 0 {
+				t.Fatalf("%d jobs errored", stats.Errored)
+			}
+			for i, r := range results {
+				if got := r.Trace.Hash(); got != golden[i] {
+					t.Errorf("%s: fleet trace %x != serial trace %x", r.Key, got, golden[i])
+				}
+			}
+		})
+	}
+}
+
+// TestFleetRunsAreRepeatable re-runs the same batch at the same width and
+// asserts hash-identical results — no hidden per-run state in the fleet.
+func TestFleetRunsAreRepeatable(t *testing.T) {
+	jobs := goldenJobs(t)
+	first, _, err := Run(context.Background(), jobs, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, _, err := Run(context.Background(), jobs, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range jobs {
+		if first[i].Trace.Hash() != second[i].Trace.Hash() {
+			t.Errorf("%s: repeated fleet run produced a different trace", jobs[i].Key)
+		}
+	}
+}

@@ -1,0 +1,259 @@
+// Package runner is a worker-pool fleet for simulation and admissibility
+// checking. It shards batches of jobs — each a sim.Config to execute and/or
+// a trace to check — across GOMAXPROCS-bounded goroutines, streams per-job
+// results over a channel as they complete, and collects them back into the
+// stable (batch, index) order so that aggregate outcomes are independent of
+// worker count and scheduling.
+//
+// Determinism contract: every job carries its own seed inside its
+// sim.Config, every worker runs jobs on a private sim.Engine, and no state
+// is shared between jobs, so the trace produced for a job is bit-identical
+// (sim.Trace.Hash-equal) to a serial sim.Run of the same Config regardless
+// of Workers. The golden-trace test in this package pins that contract for
+// workers ∈ {1, 2, 8}.
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/causality"
+	"repro/internal/check"
+	"repro/internal/rat"
+	"repro/internal/sim"
+)
+
+// Job is one unit of fleet work: either a simulation to run (Cfg) or a
+// pre-built trace to analyze (Trace), optionally followed by an ABC
+// admissibility check, a critical-ratio search, and a custom check.
+type Job struct {
+	// Key labels the job in results and stats (e.g. "E9/seed=3").
+	Key string
+	// Cfg, when non-nil, is the simulation to execute.
+	Cfg *sim.Config
+	// Trace, when non-nil (and Cfg is nil), is an existing trace to
+	// analyze — e.g. a hand-built scenario figure.
+	Trace *sim.Trace
+	// Xi, when > 0, requests an ABC(Ξ) admissibility check of the job's
+	// trace; the verdict lands in JobResult.Verdict.
+	Xi rat.Rat
+	// Ratio requests the exact critical-ratio search on the job's trace.
+	Ratio bool
+	// Check, when non-nil, runs on the worker after the simulation; its
+	// error is recorded in JobResult.CheckErr (a check failure, distinct
+	// from the infrastructure error in JobResult.Err).
+	Check func(*sim.Result) error
+}
+
+// JobResult is the outcome of one job. Exactly one result is produced per
+// submitted job, carrying the job's batch index so collected slices are in
+// submission order.
+type JobResult struct {
+	// Index is the job's position in the submitted batch.
+	Index int
+	// Key echoes Job.Key.
+	Key string
+	// Sim is the simulation result (nil for trace-only jobs).
+	Sim *sim.Result
+	// Trace is the analyzed trace: Sim.Trace for simulation jobs, the
+	// submitted trace otherwise.
+	Trace *sim.Trace
+	// Graph is the execution graph, built only when the job requested an
+	// admissibility check or ratio search.
+	Graph *causality.Graph
+	// Verdict is the ABC(Ξ) verdict when Job.Xi > 0.
+	Verdict *check.Verdict
+	// Ratio and RatioFound report the critical-ratio search when
+	// Job.Ratio was set.
+	Ratio      rat.Rat
+	RatioFound bool
+	// CheckErr is the error returned by Job.Check, if any.
+	CheckErr error
+	// Err reports an infrastructure failure: invalid config, checker
+	// error, or context cancellation before the job started.
+	Err error
+}
+
+// Admissible reports whether the job's ABC check passed (false when no
+// check was requested or the job errored).
+func (r JobResult) Admissible() bool {
+	return r.Err == nil && r.Verdict != nil && r.Verdict.Admissible
+}
+
+// Options configures a fleet run.
+type Options struct {
+	// Workers is the number of concurrent workers; <= 0 means
+	// runtime.GOMAXPROCS(0).
+	Workers int
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Stats aggregates a completed batch.
+type Stats struct {
+	// Jobs is the number of submitted jobs; Errored counts jobs with a
+	// non-nil Err (including cancellations), CheckFailed those whose
+	// custom check failed, Truncated those whose simulation hit its
+	// event or time budget.
+	Jobs, Errored, CheckFailed, Truncated int
+	// Admissible and Inadmissible count ABC verdicts (jobs without an
+	// Xi check count toward neither).
+	Admissible, Inadmissible int
+	// Events and Msgs total the trace sizes across successful jobs.
+	Events, Msgs int
+	// MaxRatio is the largest critical ratio observed across jobs that
+	// requested the ratio search; MaxRatioKey names the job.
+	MaxRatio      rat.Rat
+	MaxRatioFound bool
+	MaxRatioKey   string
+}
+
+// add folds one result into the aggregate.
+func (s *Stats) add(r JobResult) {
+	s.Jobs++
+	if r.Err != nil {
+		s.Errored++
+		return
+	}
+	if r.CheckErr != nil {
+		s.CheckFailed++
+	}
+	if r.Sim != nil && r.Sim.Truncated {
+		s.Truncated++
+	}
+	if r.Trace != nil {
+		s.Events += len(r.Trace.Events)
+		s.Msgs += len(r.Trace.Msgs)
+	}
+	if r.Verdict != nil {
+		if r.Verdict.Admissible {
+			s.Admissible++
+		} else {
+			s.Inadmissible++
+		}
+	}
+	if r.RatioFound && (!s.MaxRatioFound || r.Ratio.Greater(s.MaxRatio)) {
+		s.MaxRatio, s.MaxRatioFound, s.MaxRatioKey = r.Ratio, true, r.Key
+	}
+}
+
+// errJobEmpty is returned for jobs with neither a Cfg nor a Trace.
+var errJobEmpty = errors.New("runner: job has neither Cfg nor Trace")
+
+// Stream executes the batch and delivers results over the returned channel
+// in completion order (use Run for submission order). The channel is
+// closed once every job has produced exactly one result. When ctx is
+// cancelled, jobs not yet started complete immediately with Err set to the
+// context's error; jobs already in flight finish normally.
+func Stream(ctx context.Context, jobs []Job, opts Options) <-chan JobResult {
+	workers := opts.workers()
+	if workers > len(jobs) && len(jobs) > 0 {
+		workers = len(jobs)
+	}
+	indices := make(chan int)
+	out := make(chan JobResult, workers)
+
+	go func() {
+		defer close(indices)
+		for i := range jobs {
+			select {
+			case indices <- i:
+			case <-ctx.Done():
+				// Drain the remaining indices as cancelled results so
+				// every job is accounted for.
+				for j := i; j < len(jobs); j++ {
+					out <- JobResult{Index: j, Key: jobs[j].Key, Err: ctx.Err()}
+				}
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			engine := sim.NewEngine()
+			for i := range indices {
+				if err := ctx.Err(); err != nil {
+					out <- JobResult{Index: i, Key: jobs[i].Key, Err: err}
+					continue
+				}
+				out <- execute(engine, i, jobs[i])
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(out)
+	}()
+	return out
+}
+
+// Run executes the batch and returns one result per job, in submission
+// order, together with aggregate statistics. The returned error is the
+// context's error if the run was cancelled; per-job failures are reported
+// in the results, not as a run error.
+func Run(ctx context.Context, jobs []Job, opts Options) ([]JobResult, Stats, error) {
+	results := make([]JobResult, len(jobs))
+	for r := range Stream(ctx, jobs, opts) {
+		results[r.Index] = r
+	}
+	var stats Stats
+	for _, r := range results {
+		stats.add(r)
+	}
+	return results, stats, ctx.Err()
+}
+
+// execute runs one job on a worker's private engine.
+func execute(engine *sim.Engine, index int, job Job) JobResult {
+	res := JobResult{Index: index, Key: job.Key}
+	switch {
+	case job.Cfg != nil:
+		sr, err := engine.Run(*job.Cfg)
+		if err != nil {
+			res.Err = fmt.Errorf("runner: job %d (%s): %w", index, job.Key, err)
+			return res
+		}
+		res.Sim, res.Trace = sr, sr.Trace
+	case job.Trace != nil:
+		res.Trace = job.Trace
+	default:
+		res.Err = errJobEmpty
+		return res
+	}
+
+	if job.Xi.Sign() > 0 || job.Ratio {
+		res.Graph = causality.Build(res.Trace, causality.Options{})
+	}
+	if job.Xi.Sign() > 0 {
+		v, err := check.ABC(res.Graph, job.Xi)
+		if err != nil {
+			res.Err = fmt.Errorf("runner: job %d (%s): ABC check: %w", index, job.Key, err)
+			return res
+		}
+		res.Verdict = &v
+	}
+	if job.Ratio {
+		ratio, found, err := check.MaxRelevantRatio(res.Graph)
+		if err != nil {
+			res.Err = fmt.Errorf("runner: job %d (%s): ratio search: %w", index, job.Key, err)
+			return res
+		}
+		res.Ratio, res.RatioFound = ratio, found
+	}
+	if job.Check != nil {
+		res.CheckErr = job.Check(res.Sim)
+	}
+	return res
+}

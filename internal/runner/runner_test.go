@@ -1,0 +1,212 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/rat"
+	"repro/internal/scenario"
+	"repro/internal/sim"
+)
+
+// broadcastCfg is the small reference workload used across the package's
+// tests: n processes, each broadcasting for the first `steps` steps.
+func broadcastCfg(n, steps int, seed int64) *sim.Config {
+	return &sim.Config{
+		N: n,
+		Spawn: func(sim.ProcessID) sim.Process {
+			return sim.ProcessFunc(func(env *sim.Env, msg sim.Message) {
+				if env.StepIndex() < steps {
+					env.Broadcast(env.StepIndex())
+				}
+			})
+		},
+		Delays:    sim.UniformDelay{Min: rat.One, Max: rat.New(3, 2)},
+		Seed:      seed,
+		MaxEvents: 100000,
+	}
+}
+
+func TestRunCollectsInSubmissionOrder(t *testing.T) {
+	jobs := SeedJobs("order", Seeds(0, 9), func(seed int64) Job {
+		return Job{Cfg: broadcastCfg(3, 4, seed)}
+	})
+	results, stats, err := Run(context.Background(), jobs, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(jobs) {
+		t.Fatalf("got %d results, want %d", len(results), len(jobs))
+	}
+	for i, r := range results {
+		if r.Index != i {
+			t.Errorf("result %d has index %d", i, r.Index)
+		}
+		if want := fmt.Sprintf("order/seed=%d", i); r.Key != want {
+			t.Errorf("result %d key %q, want %q", i, r.Key, want)
+		}
+		if r.Err != nil {
+			t.Errorf("result %d: %v", i, r.Err)
+		}
+		if r.Trace == nil || len(r.Trace.Events) == 0 {
+			t.Errorf("result %d has empty trace", i)
+		}
+	}
+	if stats.Jobs != 9 || stats.Errored != 0 {
+		t.Errorf("stats = %+v", stats)
+	}
+	if stats.Events == 0 || stats.Msgs == 0 {
+		t.Errorf("stats did not aggregate trace sizes: %+v", stats)
+	}
+}
+
+func TestJobChecksAndVerdicts(t *testing.T) {
+	boom := errors.New("boom")
+	jobs := []Job{
+		// Fig. 1's relevant cycle has the exactly known critical ratio
+		// 5/4: admissible at Ξ=2, and the ratio search must find it.
+		{Key: "fig1", Trace: scenario.BuildFig1().Trace, Xi: rat.FromInt(2), Ratio: true},
+		{Key: "check-fails", Cfg: broadcastCfg(3, 4, 2), Check: func(*sim.Result) error { return boom }},
+		{Key: "bad-config", Cfg: &sim.Config{N: -1}},
+		{Key: "empty"},
+	}
+	results, stats, err := Run(context.Background(), jobs, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !results[0].Admissible() {
+		t.Errorf("Fig. 1 not admissible at Ξ=2: %+v", results[0].Verdict)
+	}
+	if results[0].Graph == nil {
+		t.Error("graph not retained for checked job")
+	}
+	if !results[0].RatioFound || !results[0].Ratio.Equal(rat.New(5, 4)) {
+		t.Errorf("Fig. 1 critical ratio = %v (found=%v), want 5/4",
+			results[0].Ratio, results[0].RatioFound)
+	}
+	if !errors.Is(results[1].CheckErr, boom) {
+		t.Errorf("CheckErr = %v, want boom", results[1].CheckErr)
+	}
+	if results[2].Err == nil {
+		t.Error("invalid config did not error")
+	}
+	if !errors.Is(results[3].Err, errJobEmpty) {
+		t.Errorf("empty job error = %v", results[3].Err)
+	}
+	if stats.Errored != 2 || stats.CheckFailed != 1 || stats.Admissible != 1 {
+		t.Errorf("stats = %+v", stats)
+	}
+	if !stats.MaxRatioFound || stats.MaxRatioKey != "fig1" {
+		t.Errorf("max ratio not aggregated: %+v", stats)
+	}
+}
+
+func TestTraceOnlyJobs(t *testing.T) {
+	// A pre-built trace (no simulation) still supports checks: run a
+	// simulation once, then submit its trace as a trace-only job.
+	sr, err := sim.Run(*broadcastCfg(3, 4, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := []Job{{Key: "trace", Trace: sr.Trace, Xi: rat.FromInt(2)}}
+	results, _, err := Run(context.Background(), jobs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Sim != nil {
+		t.Error("trace-only job has a Sim result")
+	}
+	if !results[0].Admissible() {
+		t.Error("trace-only job not checked")
+	}
+}
+
+func TestGridExpansionOrderAndKeys(t *testing.T) {
+	g := Grid{
+		Name:       "g",
+		Seeds:      []int64{0, 1},
+		Ns:         []int{2, 3},
+		Delays:     []string{"fast", "slow"},
+		Topologies: []string{"full"},
+		Make: func(p Point) (Job, error) {
+			return Job{Cfg: broadcastCfg(p.N, 2, p.Seed)}, nil
+		},
+	}
+	jobs, err := g.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 8 {
+		t.Fatalf("got %d jobs, want 8", len(jobs))
+	}
+	// Row-major, seed innermost: first four cells cover delay "fast".
+	want := []string{
+		"g/n=2/seed=0/fast/full", "g/n=2/seed=1/fast/full",
+		"g/n=3/seed=0/fast/full", "g/n=3/seed=1/fast/full",
+		"g/n=2/seed=0/slow/full", "g/n=2/seed=1/slow/full",
+		"g/n=3/seed=0/slow/full", "g/n=3/seed=1/slow/full",
+	}
+	for i, j := range jobs {
+		if j.Key != want[i] {
+			t.Errorf("job %d key %q, want %q", i, j.Key, want[i])
+		}
+	}
+
+	// Expansion is pure: a second call yields the same keys.
+	again, err := g.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range jobs {
+		if jobs[i].Key != again[i].Key {
+			t.Errorf("grid expansion unstable at %d", i)
+		}
+	}
+
+	gridErr := errors.New("no such cell")
+	g.Make = func(p Point) (Job, error) { return Job{}, gridErr }
+	if _, err := g.Jobs(); !errors.Is(err, gridErr) {
+		t.Errorf("grid error not propagated: %v", err)
+	}
+}
+
+func TestMapOrderAndErrors(t *testing.T) {
+	got, err := Map(context.Background(), 20, 4, func(i int) (int, error) {
+		return i * i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i*i {
+			t.Errorf("Map[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+	mapErr := errors.New("task 7 failed")
+	_, err = Map(context.Background(), 20, 4, func(i int) (int, error) {
+		if i == 7 {
+			return 0, mapErr
+		}
+		return i, nil
+	})
+	if !errors.Is(err, mapErr) {
+		t.Errorf("Map error = %v", err)
+	}
+}
+
+func TestStreamDeliversEveryJobExactlyOnce(t *testing.T) {
+	jobs := SeedJobs("stream", Seeds(0, 16), func(seed int64) Job {
+		return Job{Cfg: broadcastCfg(2, 3, seed)}
+	})
+	seen := make(map[int]int)
+	for r := range Stream(context.Background(), jobs, Options{Workers: 3}) {
+		seen[r.Index]++
+	}
+	for i := range jobs {
+		if seen[i] != 1 {
+			t.Errorf("job %d delivered %d times", i, seen[i])
+		}
+	}
+}

@@ -1,0 +1,266 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/rat"
+)
+
+// Engine is a reusable simulation executor. A zero-value Engine is ready to
+// use; Run may be called any number of times, and each call produces a
+// result bit-identical to a fresh sim.Run of the same Config (the
+// hermeticity property pinned by TestEngineReuseHermetic).
+//
+// The point of an Engine over the one-shot Run is fan-out cost: the fleet
+// runner (internal/runner) executes thousands of short simulations per
+// worker, and the delivery queue, per-process scratch arrays, RNG, and the
+// step environment's send buffer are all reused across runs instead of
+// reallocated. Everything that escapes into the Result — the Trace and the
+// process state machines — is freshly allocated per run, so results from
+// consecutive runs never alias.
+//
+// An Engine is not safe for concurrent use; give each goroutine its own.
+type Engine struct {
+	// Pooled across runs.
+	rng        *rand.Rand
+	queue      deliveryQueue
+	crashAfter []int
+	stepCount  []int // computing steps executed per process
+	eventCount []int // receive events recorded per process
+	wakeTime   []Time
+	out        []pendingSend // Env send buffer, recycled between steps
+
+	// Per-run state; reset at the top of Run.
+	cfg   Config
+	trace *Trace
+	procs []Process
+	seq   int64
+}
+
+// NewEngine returns an empty Engine. Equivalent to new(Engine); it exists
+// for discoverability next to Run.
+func NewEngine() *Engine { return new(Engine) }
+
+// Run executes the configured simulation to quiescence or a stop condition
+// and returns the recorded trace. It returns an error only for invalid
+// configurations; algorithm panics propagate. The Engine's pooled storage
+// is recycled, but the returned Result shares no state with the Engine or
+// with earlier results.
+func (e *Engine) Run(cfg Config) (*Result, error) {
+	if cfg.N <= 0 {
+		return nil, fmt.Errorf("sim: N = %d, need at least 1", cfg.N)
+	}
+	if cfg.Spawn == nil {
+		return nil, errors.New("sim: Spawn is required")
+	}
+	if cfg.Delays == nil {
+		return nil, errors.New("sim: Delays is required")
+	}
+	if cfg.StartTimes != nil && len(cfg.StartTimes) != cfg.N {
+		return nil, fmt.Errorf("sim: StartTimes has length %d, want %d", len(cfg.StartTimes), cfg.N)
+	}
+	for p, f := range cfg.Faults {
+		if p < 0 || int(p) >= cfg.N {
+			return nil, fmt.Errorf("sim: fault for invalid process %d", p)
+		}
+		if f.CrashAfter < NeverCrash {
+			return nil, fmt.Errorf("sim: fault for process %d has CrashAfter = %d", p, f.CrashAfter)
+		}
+	}
+	maxEvents := cfg.MaxEvents
+	if maxEvents <= 0 {
+		maxEvents = defaultMaxEvents
+	}
+
+	cfg.Delays = compileDelays(cfg.Delays)
+	e.reset(cfg)
+
+	for p := ProcessID(0); int(p) < cfg.N; p++ {
+		handler := cfg.Spawn(p)
+		if f, ok := cfg.Faults[p]; ok {
+			e.trace.Faulty[p] = true
+			e.crashAfter[p] = f.CrashAfter
+			if f.Byzantine != nil {
+				handler = f.Byzantine
+			}
+		}
+		if handler == nil {
+			return nil, fmt.Errorf("sim: nil handler for process %d", p)
+		}
+		e.procs[p] = handler
+	}
+
+	// Schedule wake-ups first so that, at equal times, the deterministic
+	// (time, seq) order delivers each process's wake-up before any peer
+	// message (Section 2's assumption on the very first step).
+	for p := ProcessID(0); int(p) < cfg.N; p++ {
+		at := rat.Zero
+		if cfg.StartTimes != nil {
+			at = cfg.StartTimes[p]
+		}
+		e.wakeTime[p] = at
+		id := e.addMessage(Message{
+			From: External, To: p, SendStep: SendStepExternal,
+			SendTime: at, RecvTime: at, Payload: Wakeup{},
+		})
+		e.queue.push(delivery{at: at, seq: e.nextSeq(), msg: id})
+	}
+	// Scripted Byzantine sends, in process order for determinism (map
+	// iteration order is randomized).
+	for p := ProcessID(0); int(p) < cfg.N; p++ {
+		f, ok := cfg.Faults[p]
+		if !ok {
+			continue
+		}
+		for _, s := range f.Script {
+			e.sendMessage(p, SendStepScripted, s.At, s.To, s.Payload)
+		}
+	}
+
+	truncated := e.loop(maxEvents)
+	res := &Result{Trace: e.trace, Procs: e.procs, Truncated: truncated}
+	// Drop the escaping references so pooled state never aliases a result.
+	e.trace, e.procs, e.cfg = nil, nil, Config{}
+	return res, nil
+}
+
+// reset prepares the pooled storage for a new run: the queue and scratch
+// arrays are cleared and resized to cfg.N, the RNG is reseeded (producing
+// the same draw sequence as a fresh rand.New(rand.NewSource(seed))), and
+// per-run outputs are freshly allocated.
+func (e *Engine) reset(cfg Config) {
+	e.cfg = cfg
+	e.seq = 0
+	e.queue = e.queue[:0]
+	if e.rng == nil {
+		e.rng = rand.New(rand.NewSource(cfg.Seed))
+	} else {
+		e.rng.Seed(cfg.Seed)
+	}
+	e.crashAfter = resizeInts(e.crashAfter, cfg.N)
+	e.stepCount = resizeInts(e.stepCount, cfg.N)
+	e.eventCount = resizeInts(e.eventCount, cfg.N)
+	e.wakeTime = resizeTimes(e.wakeTime, cfg.N)
+	for p := 0; p < cfg.N; p++ {
+		e.crashAfter[p] = NeverCrash
+	}
+
+	// Escaping per-run state: always fresh.
+	e.trace = &Trace{N: cfg.N, Faulty: make([]bool, cfg.N), eventAt: make(map[eventKey]int)}
+	e.procs = make([]Process, cfg.N)
+}
+
+func resizeInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+func resizeTimes(s []Time, n int) []Time {
+	if cap(s) < n {
+		return make([]Time, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = rat.Zero
+	}
+	return s
+}
+
+func (e *Engine) nextSeq() int64 {
+	e.seq++
+	return e.seq
+}
+
+func (e *Engine) addMessage(m Message) MsgID {
+	m.ID = MsgID(len(e.trace.Msgs))
+	e.trace.Msgs = append(e.trace.Msgs, m)
+	return m.ID
+}
+
+// sendMessage assigns a delay and schedules the delivery. Delivery never
+// precedes the recipient's wake-up (receive times are clamped to the wake
+// time; the wake-up's earlier queue seq breaks the tie).
+func (e *Engine) sendMessage(from ProcessID, sendStep int, sendTime Time, to ProcessID, payload any) {
+	m := Message{
+		From: from, To: to, SendStep: sendStep,
+		SendTime: sendTime, Payload: payload,
+	}
+	m.ID = MsgID(len(e.trace.Msgs))
+	d := e.cfg.Delays.Delay(m, e.rng)
+	if d.Sign() < 0 {
+		panic(fmt.Sprintf("sim: delay policy returned negative delay %v", d))
+	}
+	recv := sendTime.Add(d)
+	if recv.Less(e.wakeTime[to]) {
+		recv = e.wakeTime[to]
+	}
+	m.RecvTime = recv
+	e.trace.Msgs = append(e.trace.Msgs, m)
+	e.queue.push(delivery{at: recv, seq: e.nextSeq(), msg: m.ID})
+}
+
+func (e *Engine) loop(maxEvents int) (truncated bool) {
+	for len(e.queue) > 0 {
+		if len(e.trace.Events) >= maxEvents {
+			return true
+		}
+		d := e.queue.pop()
+		m := e.trace.Msgs[d.msg]
+		if e.cfg.MaxTime.Sign() > 0 && m.RecvTime.Greater(e.cfg.MaxTime) {
+			return true
+		}
+		p := m.To
+
+		crashed := e.crashAfter[p] != NeverCrash && e.stepCount[p] >= e.crashAfter[p]
+		ev := Event{
+			Proc:    p,
+			Index:   e.eventCount[p],
+			Time:    m.RecvTime,
+			Trigger: m.ID,
+		}
+		e.eventCount[p]++
+
+		if !crashed {
+			env := Env{
+				self:      p,
+				n:         e.cfg.N,
+				stepIndex: e.stepCount[p],
+				connected: e.cfg.Topology,
+				out:       e.out[:0],
+			}
+			e.procs[p].Step(&env, m)
+			e.stepCount[p]++
+			ev.Processed = true
+			ev.Note = env.note
+			for _, out := range env.out {
+				e.sendMessage(p, ev.Index, m.RecvTime, out.to, out.payload)
+			}
+			// Keep the (possibly grown) send buffer, cleared of payload
+			// references so pooled storage does not pin process data.
+			e.out = env.out[:0]
+			clearSends(env.out)
+		}
+		pos := len(e.trace.Events)
+		e.trace.Events = append(e.trace.Events, ev)
+		e.trace.eventAt[eventKey{p, ev.Index}] = pos
+
+		if ev.Processed && e.cfg.Until != nil && e.cfg.Until(e.procs) {
+			return false
+		}
+	}
+	return false
+}
+
+func clearSends(s []pendingSend) {
+	for i := range s {
+		s[i] = pendingSend{}
+	}
+}

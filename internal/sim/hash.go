@@ -1,0 +1,21 @@
+package sim
+
+import "hash/fnv"
+
+// Hash returns a stable FNV-64a digest of the complete trace: process
+// count, fault marks, every event (exact rational time, trigger, processed
+// flag, note) and every message (endpoints, exact send/receive times,
+// payload rendered with %v, heap addresses masked — see renderValue). Two
+// traces hash equal iff their canonical JSON serializations are
+// byte-identical, which is the bit-level determinism contract the fleet
+// runner guarantees against the serial path (see internal/runner's
+// golden-trace test, which covers pointer-carrying payloads too).
+func (t *Trace) Hash() uint64 {
+	h := fnv.New64a()
+	// WriteJSON is deterministic (struct field order, exact rational
+	// strings) and fnv's Write never fails.
+	if err := t.WriteJSON(h); err != nil {
+		panic("sim: hashing trace: " + err.Error())
+	}
+	return h.Sum64()
+}

@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"regexp"
+	"strings"
 
 	"repro/internal/rat"
 )
@@ -13,6 +15,25 @@ import (
 // ("3/2"); payloads are rendered to strings with %v — sufficient for all
 // admissibility checking, which depends only on the communication
 // structure, never on payload contents.
+//
+// Payloads holding pointers (e.g. lockstep round messages) would render
+// heap addresses, making serialization — and therefore Trace.Hash and
+// cross-run trace diffs — depend on allocation accidents. renderValue
+// masks hex addresses, trading the (meaningless) address text for
+// deterministic output.
+
+// addrPattern matches %v-rendered pointer addresses.
+var addrPattern = regexp.MustCompile(`0x[0-9a-f]+`)
+
+// renderValue renders a payload or note deterministically: like %v, but
+// with heap addresses replaced by "0xPTR".
+func renderValue(v any) string {
+	s := fmt.Sprintf("%v", v)
+	if strings.Contains(s, "0x") {
+		s = addrPattern.ReplaceAllString(s, "0xPTR")
+	}
+	return s
+}
 
 type jsonTrace struct {
 	N      int           `json:"n"`
@@ -48,7 +69,7 @@ func (t *Trace) WriteJSON(w io.Writer) error {
 	for i, ev := range t.Events {
 		note := ""
 		if ev.Note != nil {
-			note = fmt.Sprintf("%v", ev.Note)
+			note = renderValue(ev.Note)
 		}
 		jt.Events[i] = jsonEvent{
 			Proc: int(ev.Proc), Index: ev.Index, Time: ev.Time.String(),
@@ -59,7 +80,7 @@ func (t *Trace) WriteJSON(w io.Writer) error {
 	for i, m := range t.Msgs {
 		payload := ""
 		if m.Payload != nil {
-			payload = fmt.Sprintf("%v", m.Payload)
+			payload = renderValue(m.Payload)
 		}
 		jt.Msgs[i] = jsonMessage{
 			ID: int(m.ID), From: int(m.From), To: int(m.To), SendStep: m.SendStep,

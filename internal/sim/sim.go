@@ -1,13 +1,5 @@
 package sim
 
-import (
-	"errors"
-	"fmt"
-	"math/rand"
-
-	"repro/internal/rat"
-)
-
 // Config describes one simulation run.
 type Config struct {
 	// N is the number of processes.
@@ -55,188 +47,14 @@ const defaultMaxEvents = 200000
 // Run executes the configured simulation to quiescence or a stop condition
 // and returns the recorded trace. It returns an error only for invalid
 // configurations; algorithm panics propagate.
+//
+// Run is a convenience wrapper over a throwaway Engine; callers executing
+// many simulations (fleet sweeps, internal/runner workers) should hold an
+// Engine and call its Run method to amortize the scheduler's allocations.
 func Run(cfg Config) (*Result, error) {
-	if cfg.N <= 0 {
-		return nil, fmt.Errorf("sim: N = %d, need at least 1", cfg.N)
-	}
-	if cfg.Spawn == nil {
-		return nil, errors.New("sim: Spawn is required")
-	}
-	if cfg.Delays == nil {
-		return nil, errors.New("sim: Delays is required")
-	}
-	if cfg.StartTimes != nil && len(cfg.StartTimes) != cfg.N {
-		return nil, fmt.Errorf("sim: StartTimes has length %d, want %d", len(cfg.StartTimes), cfg.N)
-	}
-	for p, f := range cfg.Faults {
-		if p < 0 || int(p) >= cfg.N {
-			return nil, fmt.Errorf("sim: fault for invalid process %d", p)
-		}
-		if f.CrashAfter < NeverCrash {
-			return nil, fmt.Errorf("sim: fault for process %d has CrashAfter = %d", p, f.CrashAfter)
-		}
-	}
-	maxEvents := cfg.MaxEvents
-	if maxEvents <= 0 {
-		maxEvents = defaultMaxEvents
-	}
-
-	cfg.Delays = compileDelays(cfg.Delays)
-	r := &runner{
-		cfg:   cfg,
-		rng:   rand.New(rand.NewSource(cfg.Seed)),
-		trace: &Trace{N: cfg.N, Faulty: make([]bool, cfg.N), eventAt: make(map[eventKey]int)},
-	}
-	r.procs = make([]Process, cfg.N)
-	r.crashAfter = make([]int, cfg.N)
-	r.woke = make([]bool, cfg.N)
-	r.stepCount = make([]int, cfg.N)
-	r.eventCount = make([]int, cfg.N)
-	for p := ProcessID(0); int(p) < cfg.N; p++ {
-		r.crashAfter[p] = NeverCrash
-		handler := cfg.Spawn(p)
-		if f, ok := cfg.Faults[p]; ok {
-			r.trace.Faulty[p] = true
-			r.crashAfter[p] = f.CrashAfter
-			if f.Byzantine != nil {
-				handler = f.Byzantine
-			}
-		}
-		if handler == nil {
-			return nil, fmt.Errorf("sim: nil handler for process %d", p)
-		}
-		r.procs[p] = handler
-	}
-
-	// Schedule wake-ups first so that, at equal times, the deterministic
-	// (time, seq) order delivers each process's wake-up before any peer
-	// message (Section 2's assumption on the very first step).
-	r.wakeTime = make([]Time, cfg.N)
-	for p := ProcessID(0); int(p) < cfg.N; p++ {
-		at := rat.Zero
-		if cfg.StartTimes != nil {
-			at = cfg.StartTimes[p]
-		}
-		r.wakeTime[p] = at
-		id := r.addMessage(Message{
-			From: External, To: p, SendStep: SendStepExternal,
-			SendTime: at, RecvTime: at, Payload: Wakeup{},
-		})
-		r.queue.push(delivery{at: at, seq: r.nextSeq(), msg: id})
-	}
-	// Scripted Byzantine sends, in process order for determinism (map
-	// iteration order is randomized).
-	for p := ProcessID(0); int(p) < cfg.N; p++ {
-		f, ok := cfg.Faults[p]
-		if !ok {
-			continue
-		}
-		for _, s := range f.Script {
-			r.sendMessage(p, SendStepScripted, s.At, s.To, s.Payload)
-		}
-	}
-
-	truncated := r.loop(maxEvents)
-	return &Result{Trace: r.trace, Procs: r.procs, Truncated: truncated}, nil
+	return new(Engine).Run(cfg)
 }
 
 // Wakeup is the payload of the external message that triggers each
 // process's first computing step.
 type Wakeup struct{}
-
-type runner struct {
-	cfg        Config
-	rng        *rand.Rand
-	trace      *Trace
-	queue      deliveryQueue
-	seq        int64
-	procs      []Process
-	crashAfter []int
-	stepCount  []int // computing steps executed per process
-	eventCount []int // receive events recorded per process
-	woke       []bool
-	wakeTime   []Time
-}
-
-func (r *runner) nextSeq() int64 {
-	r.seq++
-	return r.seq
-}
-
-func (r *runner) addMessage(m Message) MsgID {
-	m.ID = MsgID(len(r.trace.Msgs))
-	r.trace.Msgs = append(r.trace.Msgs, m)
-	return m.ID
-}
-
-// sendMessage assigns a delay and schedules the delivery. Delivery never
-// precedes the recipient's wake-up (receive times are clamped to the wake
-// time; the wake-up's earlier queue seq breaks the tie).
-func (r *runner) sendMessage(from ProcessID, sendStep int, sendTime Time, to ProcessID, payload any) {
-	m := Message{
-		From: from, To: to, SendStep: sendStep,
-		SendTime: sendTime, Payload: payload,
-	}
-	m.ID = MsgID(len(r.trace.Msgs))
-	d := r.cfg.Delays.Delay(m, r.rng)
-	if d.Sign() < 0 {
-		panic(fmt.Sprintf("sim: delay policy returned negative delay %v", d))
-	}
-	recv := sendTime.Add(d)
-	if recv.Less(r.wakeTime[to]) {
-		recv = r.wakeTime[to]
-	}
-	m.RecvTime = recv
-	r.trace.Msgs = append(r.trace.Msgs, m)
-	r.queue.push(delivery{at: recv, seq: r.nextSeq(), msg: m.ID})
-}
-
-func (r *runner) loop(maxEvents int) (truncated bool) {
-	for len(r.queue) > 0 {
-		if len(r.trace.Events) >= maxEvents {
-			return true
-		}
-		d := r.queue.pop()
-		m := r.trace.Msgs[d.msg]
-		if r.cfg.MaxTime.Sign() > 0 && m.RecvTime.Greater(r.cfg.MaxTime) {
-			return true
-		}
-		p := m.To
-
-		crashed := r.crashAfter[p] != NeverCrash && r.stepCount[p] >= r.crashAfter[p]
-		ev := Event{
-			Proc:    p,
-			Index:   r.eventCount[p],
-			Time:    m.RecvTime,
-			Trigger: m.ID,
-		}
-		r.eventCount[p]++
-
-		if !crashed {
-			env := &Env{
-				self:      p,
-				n:         r.cfg.N,
-				stepIndex: r.stepCount[p],
-				connected: r.cfg.Topology,
-			}
-			r.procs[p].Step(env, m)
-			r.stepCount[p]++
-			ev.Processed = true
-			ev.Note = env.note
-			for _, out := range env.out {
-				r.sendMessage(p, ev.Index, m.RecvTime, out.to, out.payload)
-			}
-		}
-		pos := len(r.trace.Events)
-		r.trace.Events = append(r.trace.Events, ev)
-		r.trace.eventAt[eventKey{p, ev.Index}] = pos
-		if !r.woke[p] {
-			r.woke[p] = true
-		}
-
-		if ev.Processed && r.cfg.Until != nil && r.cfg.Until(r.procs) {
-			return false
-		}
-	}
-	return false
-}
