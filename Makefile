@@ -1,10 +1,14 @@
 GO ?= go
 
 # Headline benchmarks guarded per-PR: the exact-arithmetic substrate and
-# its two heaviest consumers. Keep in sync with .github/workflows/ci.yml.
-BENCH_SMOKE = BenchmarkChecker|BenchmarkMaxRelevantRatio|BenchmarkSimulator
+# its heaviest consumers. Keep in sync with .github/workflows/ci.yml.
+BENCH_SMOKE = BenchmarkChecker|BenchmarkMaxRelevantRatio|BenchmarkSimulator|BenchmarkIncrementalChecker
 
-.PHONY: all build vet test race bench-smoke fuzz-smoke fleet-ci fleet-bench cover ci
+# Benchmarks recorded into BENCH_pr3.json by bench-json: the smoke set
+# plus graph construction.
+BENCH_JSON = $(BENCH_SMOKE)|BenchmarkGraphBuild
+
+.PHONY: all build vet test race bench-smoke bench-json fuzz-smoke fleet-ci fleet-bench incremental-ci cover ci
 
 all: build
 
@@ -25,6 +29,13 @@ race:
 # real benchstat comparison.
 bench-smoke:
 	$(GO) test -run=NONE -bench='$(BENCH_SMOKE)' -benchmem -benchtime=10x .
+
+# bench-json records the perf trajectory: the headline benchmarks are
+# rendered to BENCH_pr3.json (via cmd/benchjson) so per-PR numbers live
+# in the repository and can be diffed, not just quoted in CHANGES.md.
+bench-json:
+	$(GO) test -run=NONE -bench='$(BENCH_JSON)' -benchmem -benchtime=20x . | $(GO) run ./cmd/benchjson > BENCH_pr3.json
+	@echo wrote BENCH_pr3.json
 
 # fuzz-smoke gives each differential fuzz target a short budget; the seed
 # corpus already pins the int64 overflow boundary, so even 10s runs cross
@@ -49,7 +60,14 @@ fleet-ci:
 fleet-bench:
 	$(GO) test -run=NONE -bench='BenchmarkFleetExperiments' -benchtime=3x .
 
+# incremental-ci mirrors the CI "incremental" job: the ≥10k-schedule
+# incremental-vs-batch differential grid and the watch-mode suites under
+# the race detector, plus a bench smoke of the append-batch workload.
+incremental-ci:
+	$(GO) test -race -run 'Incremental|Watch|Monitor|Builder|IsDAG|BellmanFordFrom|Plan' ./internal/check ./internal/causality ./internal/sim ./internal/runner ./internal/graphutil
+	$(GO) test -run=NONE -bench='BenchmarkIncrementalChecker' -benchmem -benchtime=10x .
+
 cover:
 	$(GO) test -cover ./internal/runner ./internal/sim
 
-ci: vet race bench-smoke fleet-ci
+ci: vet race bench-smoke fleet-ci incremental-ci

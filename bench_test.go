@@ -58,7 +58,7 @@ func BenchmarkE14_Consensus(b *testing.B)           { benchExperiment(b, experim
 func BenchmarkE15_VLSIClockGeneration(b *testing.B) { benchExperiment(b, experiments.RunVLSI) }
 
 // BenchmarkFleetExperiments is the ISSUE 2 acceptance benchmark: the
-// complete E1–E16 evaluation through the fleet runner, serial vs 8
+// complete E1–E17 evaluation through the fleet runner, serial vs 8
 // workers. Per-seed traces and experiment Rows are bit-identical across
 // widths (TestRunAllWidthIndependent); the only difference is wall-clock.
 // The ≥3x target at 8 workers requires ≥8 hardware threads — on a
@@ -138,6 +138,98 @@ func BenchmarkMaxRelevantRatio(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// benchTrace produces the reproducible broadcast trace behind the
+// append-batch benchmarks.
+func benchTrace(b *testing.B, n, steps int, maxDelay rat.Rat) *sim.Trace {
+	b.Helper()
+	res, err := sim.Run(sim.Config{
+		N: n,
+		Spawn: func(p sim.ProcessID) sim.Process {
+			return sim.ProcessFunc(func(env *sim.Env, msg sim.Message) {
+				if env.StepIndex() < steps {
+					env.Broadcast(env.StepIndex())
+				}
+			})
+		},
+		Delays:    sim.UniformDelay{Min: rat.One, Max: maxDelay},
+		Seed:      1,
+		MaxEvents: 1 << 20,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res.Trace
+}
+
+// BenchmarkIncrementalChecker is the append-batch workload of the
+// incremental engine (DESIGN.md decision 6): a growing execution whose
+// admissibility is re-decided after every chunk of new events —
+// online-monitoring cadence — through check.Incremental versus batch
+// recheck-from-scratch (rebuild the prefix trace and graph, re-run
+// Bellman–Ford). The delay spread keeps the run admissible at Ξ = 2
+// throughout, so both sides pay for the full trace — the worst case for
+// the incremental engine, which can never latch early.
+func BenchmarkIncrementalChecker(b *testing.B) {
+	tr := benchTrace(b, 6, 30, rat.New(9, 8))
+	xi := rat.FromInt(2)
+	const chunk = 32
+	checkpoints := (len(tr.Events) + chunk - 1) / chunk
+	b.Logf("trace: %d events, %d checkpoints", len(tr.Events), checkpoints)
+
+	b.Run("incremental", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			shell := &sim.Trace{N: tr.N, Msgs: tr.Msgs, Faulty: tr.Faulty}
+			inc, err := check.NewIncremental(shell, xi, causality.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for j := chunk; ; j += chunk {
+				if j > len(tr.Events) {
+					j = len(tr.Events)
+				}
+				shell.Events = tr.Events[:j]
+				v, err := inc.Step()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !v.Admissible {
+					b.Fatal("benchmark workload must stay admissible")
+				}
+				if j == len(tr.Events) {
+					break
+				}
+			}
+		}
+		b.ReportMetric(float64(checkpoints), "checks/op")
+	})
+	b.Run("batch", func(b *testing.B) {
+		events := make([]sim.Event, 0, len(tr.Events))
+		for i := 0; i < b.N; i++ {
+			for j := chunk; ; j += chunk {
+				if j > len(tr.Events) {
+					j = len(tr.Events)
+				}
+				events = append(events[:0], tr.Events[:j]...)
+				sub, err := sim.Reassemble(tr.N, events, tr.Msgs, tr.Faulty)
+				if err != nil {
+					b.Fatal(err)
+				}
+				v, err := check.ABC(causality.Build(sub, causality.Options{}), xi)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !v.Admissible {
+					b.Fatal("benchmark workload must stay admissible")
+				}
+				if j == len(tr.Events) {
+					break
+				}
+			}
+		}
+		b.ReportMetric(float64(checkpoints), "checks/op")
+	})
 }
 
 // BenchmarkExhaustiveVsBF is the ablation for DESIGN.md decision #1:

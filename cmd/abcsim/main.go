@@ -12,11 +12,17 @@
 // Per-seed traces are bit-identical to serial single runs of the same
 // seeds; -workers only changes wall-clock time.
 //
+// With -watch the admissibility check runs online: the incremental
+// engine (check.Incremental) grows the constraint system with every
+// simulated event, the run stops at the first violating event, and the
+// report names the exact event index at which admissibility first failed.
+//
 // Usage:
 //
 //	abcsim -workload clocksync -n 4 -f 1 -xi 2 -target 10 -seed 1 \
 //	       -trace trace.json -dot graph.dot
 //	abcsim -workload clocksync -n 7 -f 2 -runs 100 -workers 8
+//	abcsim -workload broadcast -n 3 -xi 3/2 -max 3 -watch
 package main
 
 import (
@@ -63,6 +69,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		workers  = fs.Int("workers", runtime.GOMAXPROCS(0), "fleet width for -runs sweeps (per-seed results are identical for any width)")
 		minD     = fs.String("min", "1", "minimum message delay")
 		maxD     = fs.String("max", "3/2", "maximum message delay")
+		watch    = fs.Bool("watch", false, "monitor ABC(Ξ) incrementally during the run and stop at the first violating event")
 		traceOut = fs.String("trace", "", "write trace JSON to this file (single run only)")
 		dotOut   = fs.String("dot", "", "write execution graph DOT to this file (single run only)")
 	)
@@ -137,7 +144,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		jobs[i] = runner.Job{
 			Key: fmt.Sprintf("seed=%d", jobSeed),
-			Cfg: &cfg, Xi: xi, Ratio: true,
+			Cfg: &cfg, Xi: xi, Watch: *watch, Ratio: true,
 		}
 	}
 
@@ -163,6 +170,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		extra := ""
 		if r.RatioFound {
 			extra = fmt.Sprintf(" ratio=%v", r.Ratio)
+		}
+		if r.FirstViolation >= 0 {
+			extra += fmt.Sprintf(" first-violation=%d", r.FirstViolation)
 		}
 		if r.Sim.Truncated {
 			extra += " truncated"
@@ -194,6 +204,11 @@ func reportSingle(stdout io.Writer, workload string, n int, seed int64, r runner
 	if !r.Verdict.Admissible {
 		fmt.Fprintf(stdout, "violating relevant cycle (ratio %v): %v\n",
 			r.Verdict.WitnessClass.Ratio(), *r.Verdict.Witness)
+	}
+	if r.FirstViolation >= 0 {
+		ev := tr.Events[r.FirstViolation]
+		fmt.Fprintf(stdout, "admissibility first fails at event %d (p%d/%d, t=%v); run stopped there\n",
+			r.FirstViolation, ev.Proc, ev.Index, ev.Time)
 	}
 	if r.RatioFound {
 		fmt.Fprintf(stdout, "critical ratio: %v (admissible for every Ξ > %v)\n", r.Ratio, r.Ratio)

@@ -81,6 +81,50 @@ func TestRunFleetSweep(t *testing.T) {
 	}
 }
 
+// TestRunWatch drives -watch through both outcomes: a wide-delay run that
+// stops at its first violating event (named in the report) and a
+// tight-delay run that stays admissible throughout.
+func TestRunWatch(t *testing.T) {
+	var out, errOut strings.Builder
+	args := []string{"-workload", "broadcast", "-n", "3", "-target", "5",
+		"-xi", "3/2", "-max", "3", "-seed", "0", "-watch"}
+	if err := run(args, &out, &errOut); err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errOut.String())
+	}
+	got := out.String()
+	for _, want := range []string{
+		"ABC(Ξ=3/2) admissible: false",
+		"admissibility first fails at event ",
+		"run stopped there",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("watch output missing %q:\n%s", want, got)
+		}
+	}
+
+	out.Reset()
+	args = []string{"-workload", "broadcast", "-n", "3", "-target", "3",
+		"-xi", "2", "-max", "17/16", "-seed", "1", "-watch"}
+	if err := run(args, &out, &errOut); err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errOut.String())
+	}
+	if got := out.String(); !strings.Contains(got, "admissible: true") ||
+		strings.Contains(got, "first fails") {
+		t.Errorf("admissible watch output wrong:\n%s", got)
+	}
+
+	// Sweep mode: per-seed lines carry the violation index.
+	out.Reset()
+	args = []string{"-workload", "broadcast", "-n", "3", "-target", "5",
+		"-xi", "3/2", "-max", "3", "-seed", "0", "-runs", "4", "-workers", "2", "-watch"}
+	if err := run(args, &out, &errOut); err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errOut.String())
+	}
+	if got := out.String(); !strings.Contains(got, "first-violation=") {
+		t.Errorf("sweep watch output missing first-violation:\n%s", got)
+	}
+}
+
 func TestRunRejectsBadUsage(t *testing.T) {
 	cases := [][]string{
 		{"-workload", "no-such-workload"},

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkChecker/nodes=2568/edges=5120-8         	      50	    515563 ns/op	 1150160 B/op	      31 allocs/op
+BenchmarkSimulator-8                             	      50	   3748161 ns/op	      3208 events/run	 3428367 B/op	    9715 allocs/op
+BenchmarkIncrementalChecker/incremental          	       5	   1048114 ns/op	        34.00 checks/op	  788713 B/op	    2736 allocs/op
+PASS
+ok  	repro	0.268s
+`
+
+func TestRunParsesBenchOutput(t *testing.T) {
+	var out strings.Builder
+	if err := run(strings.NewReader(sample), &out); err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal([]byte(out.String()), &rep); err != nil {
+		t.Fatalf("output is not JSON: %v", err)
+	}
+	if rep.Context["goos"] != "linux" || !strings.Contains(rep.Context["cpu"], "Xeon") {
+		t.Errorf("context = %v", rep.Context)
+	}
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(rep.Benchmarks))
+	}
+	b := rep.Benchmarks[0]
+	if b.Name != "BenchmarkChecker/nodes=2568/edges=5120" || b.Iterations != 50 {
+		t.Errorf("first benchmark = %+v", b)
+	}
+	if b.Metrics["ns/op"] != 515563 || b.Metrics["allocs/op"] != 31 {
+		t.Errorf("metrics = %v", b.Metrics)
+	}
+	// Custom metrics and a name without the GOMAXPROCS suffix survive.
+	inc := rep.Benchmarks[2]
+	if inc.Name != "BenchmarkIncrementalChecker/incremental" || inc.Metrics["checks/op"] != 34 {
+		t.Errorf("incremental benchmark = %+v", inc)
+	}
+	if rep.Benchmarks[1].Metrics["events/run"] != 3208 {
+		t.Errorf("events/run metric lost: %v", rep.Benchmarks[1].Metrics)
+	}
+}
+
+func TestRunRejectsEmptyInput(t *testing.T) {
+	var out strings.Builder
+	if err := run(strings.NewReader("PASS\n"), &out); err == nil {
+		t.Error("empty bench output accepted")
+	}
+}

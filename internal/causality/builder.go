@@ -1,0 +1,130 @@
+package causality
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Builder grows an execution graph incrementally as its trace is appended
+// to, in O(new events) per batch. It is the substrate of the online
+// admissibility engine (check.Incremental): a monitor holds one Builder
+// against the simulator's live trace and consumes newly recorded events
+// after every step instead of rebuilding the graph from scratch.
+//
+// The Builder requires the trace to be in causal delivery order: every
+// message's sending event must appear in Trace.Events before its receive
+// event, and each process's events must appear with dense, increasing
+// indices. Every trace the simulator or TraceBuilder produces satisfies
+// this (a message cannot be delivered before the step that sent it);
+// Append reports an error otherwise. Batch Build has no such requirement.
+//
+// Unlike Build — which emits all local edges before all message edges —
+// the Builder interleaves edges in event order: each consumed event
+// appends its local edge (if any) and then its message edge (if kept).
+// Edge IDs therefore differ between the two constructions of the same
+// trace; the node set, node order, edge set, and all derived semantics
+// (cycles, cuts, verdicts) are identical.
+//
+// The Builder maintains its own (process, index) → position index, so it
+// also works on bare prefix views of a trace (a sim.Trace value whose
+// Events slice is truncated), which lack the EventAt index.
+type Builder struct {
+	g    *Graph
+	opts Options
+	// eventPos[p][i] is the trace position of process p's i-th consumed
+	// event; used to resolve message edges without t.EventAt.
+	eventPos [][]int32
+	consumed int
+}
+
+// NewBuilder returns a Builder over t that has consumed no events yet;
+// call Append to consume whatever the trace currently holds.
+func NewBuilder(t *sim.Trace, opts Options) (*Builder, error) {
+	if t.N <= 0 {
+		return nil, fmt.Errorf("causality: trace has N = %d", t.N)
+	}
+	if len(t.Faulty) != t.N {
+		return nil, fmt.Errorf("causality: Faulty has length %d, want %d", len(t.Faulty), t.N)
+	}
+	return &Builder{
+		g: &Graph{
+			trace:     t,
+			procNodes: make([][]NodeID, t.N),
+		},
+		opts:     opts,
+		eventPos: make([][]int32, t.N),
+	}, nil
+}
+
+// Append consumes every trace event recorded since the last call,
+// appending one node per event plus its local and (kept) message edges.
+// It returns the number of events consumed. On error the graph is left at
+// the last fully consumed event.
+func (b *Builder) Append() (int, error) {
+	g, t := b.g, b.g.trace
+	start := b.consumed
+	for pos := start; pos < len(t.Events); pos++ {
+		ev := t.Events[pos]
+		if ev.Proc < 0 || int(ev.Proc) >= t.N {
+			return pos - start, fmt.Errorf("causality: event %d has process %d out of range", pos, ev.Proc)
+		}
+		if ev.Trigger < 0 || int(ev.Trigger) >= len(t.Msgs) {
+			return pos - start, fmt.Errorf("causality: event %d has dangling trigger %d", pos, ev.Trigger)
+		}
+		if ev.Index != len(b.eventPos[ev.Proc]) {
+			return pos - start, fmt.Errorf("causality: event %d at p%d has index %d, want %d (builder requires dense per-process order)",
+				pos, ev.Proc, ev.Index, len(b.eventPos[ev.Proc]))
+		}
+		m := t.Msgs[ev.Trigger]
+
+		id := NodeID(len(g.nodes))
+		g.nodes = append(g.nodes, Node{
+			Proc:     ev.Proc,
+			Index:    ev.Index,
+			Time:     ev.Time,
+			TracePos: pos,
+			Wakeup:   m.IsWakeup(),
+		})
+		g.nodeByEvent = append(g.nodeByEvent, id)
+		if pn := g.procNodes[ev.Proc]; len(pn) > 0 {
+			g.edges = append(g.edges, Edge{From: pn[len(pn)-1], To: id, Kind: Local, Msg: -1})
+		}
+		g.procNodes[ev.Proc] = append(g.procNodes[ev.Proc], id)
+		b.eventPos[ev.Proc] = append(b.eventPos[ev.Proc], int32(pos))
+
+		if !m.IsWakeup() && !dropped(t, b.opts, m) {
+			if m.SendStep < 0 {
+				// Scripted send without a step: dangling, like Build.
+				b.consumed = pos + 1
+				continue
+			}
+			if m.SendStep >= len(b.eventPos[m.From]) {
+				return pos - start, fmt.Errorf("causality: event %d received before its sending step p%d/%d (builder requires causal delivery order)",
+					pos, m.From, m.SendStep)
+			}
+			from := g.nodeByEvent[b.eventPos[m.From][m.SendStep]]
+			g.edges = append(g.edges, Edge{From: from, To: id, Kind: Message, Msg: m.ID})
+			g.msgCount++
+		}
+		b.consumed = pos + 1
+	}
+	return b.consumed - start, nil
+}
+
+// Consumed returns the number of trace events consumed so far.
+func (b *Builder) Consumed() int { return b.consumed }
+
+// Graph returns the graph under construction. It is a live view: later
+// Append calls grow it in place, and its adjacency accessors (Out/In,
+// IsDAG's slow path) rebuild the CSR layout on demand. Confine it to the
+// building goroutine until Finalize.
+func (b *Builder) Graph() *Graph { return b.g }
+
+// Finalize rebuilds the CSR adjacency for everything consumed so far and
+// returns the graph, which is then safe for concurrent reads — provided
+// no further Append follows.
+func (b *Builder) Finalize() *Graph {
+	b.g.ensureCSR()
+	return b.g
+}

@@ -1,0 +1,231 @@
+package causality
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/rat"
+	"repro/internal/sim"
+)
+
+// edgeKey is an order-independent identity for comparing edge sets: the
+// Builder interleaves local and message edges in event order while Build
+// groups them, so IDs differ but the sets must match exactly.
+type edgeKey struct {
+	From, To NodeID
+	Kind     EdgeKind
+	Msg      sim.MsgID
+}
+
+func edgeSet(g *Graph) map[edgeKey]int {
+	set := make(map[edgeKey]int, g.NumEdges())
+	for _, e := range g.Edges() {
+		set[edgeKey{e.From, e.To, e.Kind, e.Msg}]++
+	}
+	return set
+}
+
+func equalEdgeSets(a, b map[edgeKey]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, n := range a {
+		if b[k] != n {
+			return false
+		}
+	}
+	return true
+}
+
+// checkMatchesBatch asserts that the incrementally built graph is
+// semantically identical to a batch Build of the same (sub)trace.
+func checkMatchesBatch(t *testing.T, ctx string, inc, batch *Graph) {
+	t.Helper()
+	if inc.NumNodes() != batch.NumNodes() {
+		t.Fatalf("%s: nodes %d != %d", ctx, inc.NumNodes(), batch.NumNodes())
+	}
+	if inc.NumEdges() != batch.NumEdges() {
+		t.Fatalf("%s: edges %d != %d", ctx, inc.NumEdges(), batch.NumEdges())
+	}
+	if inc.MessageCount() != batch.MessageCount() {
+		t.Fatalf("%s: messages %d != %d", ctx, inc.MessageCount(), batch.MessageCount())
+	}
+	for i := 0; i < inc.NumNodes(); i++ {
+		if inc.Node(NodeID(i)) != batch.Node(NodeID(i)) {
+			t.Fatalf("%s: node %d: %+v != %+v", ctx, i, inc.Node(NodeID(i)), batch.Node(NodeID(i)))
+		}
+	}
+	if !equalEdgeSets(edgeSet(inc), edgeSet(batch)) {
+		t.Fatalf("%s: edge sets differ", ctx)
+	}
+	// Adjacency views agree with the edge list.
+	for id := NodeID(0); int(id) < inc.NumNodes(); id++ {
+		for _, eid := range inc.Out(id) {
+			if inc.Edge(eid).From != id {
+				t.Fatalf("%s: out edge %d not from %d", ctx, eid, id)
+			}
+		}
+		for _, eid := range inc.In(id) {
+			if inc.Edge(eid).To != id {
+				t.Fatalf("%s: in edge %d not to %d", ctx, eid, id)
+			}
+		}
+		if len(inc.Out(id))+len(inc.In(id)) != len(batch.Out(id))+len(batch.In(id)) {
+			t.Fatalf("%s: degree of %d differs", ctx, id)
+		}
+	}
+	if !inc.IsDAG() {
+		t.Fatalf("%s: incremental graph not a DAG", ctx)
+	}
+}
+
+// randomTrace simulates a small broadcast workload, optionally with a
+// faulty process and a drop option exercised.
+func randomTrace(t *testing.T, seed int64, n int, faulty bool) *sim.Trace {
+	t.Helper()
+	cfg := sim.Config{
+		N: n,
+		Spawn: func(p sim.ProcessID) sim.Process {
+			return sim.ProcessFunc(func(env *sim.Env, msg sim.Message) {
+				if env.StepIndex() < 4 {
+					env.Broadcast(env.StepIndex())
+				}
+			})
+		},
+		Delays:    sim.UniformDelay{Min: rat.Zero, Max: rat.FromInt(2)},
+		Seed:      seed,
+		MaxEvents: 80,
+	}
+	if faulty {
+		cfg.Faults = map[sim.ProcessID]sim.Fault{0: {CrashAfter: 2}}
+	}
+	res, err := sim.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Trace
+}
+
+func TestBuilderMatchesBatchBuild(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		for _, faulty := range []bool{false, true} {
+			tr := randomTrace(t, seed, 3+int(seed%3), faulty)
+			opts := Options{}
+			if seed%4 == 0 {
+				opts.DropMessage = func(m sim.Message) bool { return m.To == 1 }
+			}
+			b, err := NewBuilder(tr, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			consumed, err := b.Append()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if consumed != len(tr.Events) {
+				t.Fatalf("consumed %d of %d events", consumed, len(tr.Events))
+			}
+			ctx := fmt.Sprintf("seed=%d faulty=%v", seed, faulty)
+			checkMatchesBatch(t, ctx, b.Finalize(), Build(tr, opts))
+		}
+	}
+}
+
+// TestBuilderIncrementalPrefixes grows the graph in chunks and checks
+// every intermediate state against a batch Build of the same prefix.
+func TestBuilderIncrementalPrefixes(t *testing.T) {
+	tr := randomTrace(t, 42, 4, false)
+	shell := &sim.Trace{N: tr.N, Msgs: tr.Msgs, Faulty: tr.Faulty}
+	b, err := NewBuilder(shell, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 3; ; j += 3 {
+		if j > len(tr.Events) {
+			j = len(tr.Events)
+		}
+		shell.Events = tr.Events[:j]
+		if _, err := b.Append(); err != nil {
+			t.Fatal(err)
+		}
+		if b.Consumed() != j {
+			t.Fatalf("consumed %d, want %d", b.Consumed(), j)
+		}
+		events := make([]sim.Event, j)
+		copy(events, tr.Events[:j])
+		sub, err := sim.Reassemble(tr.N, events, tr.Msgs, tr.Faulty)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkMatchesBatch(t, fmt.Sprintf("prefix=%d", j), b.Graph(), Build(sub, Options{}))
+		if j == len(tr.Events) {
+			break
+		}
+	}
+}
+
+// reorderedTrace builds a valid trace whose events are not in causal
+// delivery order: p0's wake-up is listed after the receive of a message
+// it sent. Build handles it (backward edge in node order); the Builder
+// must reject it.
+func reorderedTrace(t *testing.T) *sim.Trace {
+	t.Helper()
+	wake0 := sim.Message{ID: 0, From: sim.External, To: 0, SendStep: sim.SendStepExternal, Payload: sim.Wakeup{}}
+	wake1 := sim.Message{ID: 1, From: sim.External, To: 1, SendStep: sim.SendStepExternal, Payload: sim.Wakeup{}}
+	m := sim.Message{ID: 2, From: 0, To: 1, SendStep: 0, SendTime: rat.Zero, RecvTime: rat.One}
+	events := []sim.Event{
+		{Proc: 1, Index: 0, Trigger: 1, Processed: true},
+		{Proc: 1, Index: 1, Time: rat.One, Trigger: 2, Processed: true},
+		{Proc: 0, Index: 0, Trigger: 0, Processed: true}, // sender's step listed last
+	}
+	tr, err := sim.Reassemble(2, events, []sim.Message{wake0, wake1, m}, []bool{false, false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestBuilderRejectsNonCausalOrder(t *testing.T) {
+	tr := reorderedTrace(t)
+	b, err := NewBuilder(tr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Append(); err == nil {
+		t.Fatal("Append accepted a trace out of causal delivery order")
+	}
+}
+
+// TestIsDAGKahnFallback exercises the slow path: the reordered trace's
+// graph has a backward edge in node order yet is acyclic, and a
+// hand-built time-paradox trace (two messages at equal times triggering
+// each other) is cyclic.
+func TestIsDAGKahnFallback(t *testing.T) {
+	g := Build(reorderedTrace(t), Options{})
+	if !g.IsDAG() {
+		t.Fatal("acyclic reordered graph reported cyclic")
+	}
+
+	ma := sim.Message{ID: 0, From: 1, To: 0, SendStep: 0, SendTime: rat.One, RecvTime: rat.One}
+	mb := sim.Message{ID: 1, From: 0, To: 1, SendStep: 0, SendTime: rat.One, RecvTime: rat.One}
+	events := []sim.Event{
+		{Proc: 0, Index: 0, Time: rat.One, Trigger: 0, Processed: true},
+		{Proc: 1, Index: 0, Time: rat.One, Trigger: 1, Processed: true},
+	}
+	tr, err := sim.Reassemble(2, events, []sim.Message{ma, mb}, []bool{false, false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Build(tr, Options{}).IsDAG() {
+		t.Fatal("time-paradox graph reported acyclic")
+	}
+}
+
+func TestBuilderValidation(t *testing.T) {
+	if _, err := NewBuilder(&sim.Trace{N: 0}, Options{}); err == nil {
+		t.Error("NewBuilder accepted N=0")
+	}
+	if _, err := NewBuilder(&sim.Trace{N: 2, Faulty: []bool{false}}, Options{}); err == nil {
+		t.Error("NewBuilder accepted short Faulty")
+	}
+}

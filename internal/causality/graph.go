@@ -21,6 +21,13 @@
 // event order, and makes exempting messages (Section 2's restriction
 // mechanism, used by the Section 6 variants) monotone: dropping more
 // messages never creates constraints.
+//
+// Graphs come in two flavors: Build constructs the complete graph of a
+// finished trace in one shot, and Builder grows a graph event by event as
+// its trace is appended to (the substrate of the incremental admissibility
+// engine in internal/check). Both store adjacency in a flat CSR layout
+// (offsets + edge IDs) rather than per-node slices, so adjacency walks are
+// two contiguous array reads.
 package causality
 
 import (
@@ -76,13 +83,24 @@ type Edge struct {
 	Msg sim.MsgID
 }
 
-// Graph is the execution graph G_α. It is immutable after Build.
+// Graph is the execution graph G_α. Graphs returned by Build (and
+// Builder.Finalize) are immutable and safe for concurrent reads; a graph
+// still being grown by a Builder must be confined to one goroutine.
 type Graph struct {
 	trace *sim.Trace
 	nodes []Node
 	edges []Edge
-	// out and in hold edge IDs per node.
-	out, in [][]EdgeID
+	// msgCount is the number of Message edges, maintained at build time so
+	// MessageCount is O(1) (it is on the per-call path of every
+	// MaxRelevantRatio/Constrained invocation).
+	msgCount int
+	// CSR adjacency: outIDs[outOff[n]:outOff[n+1]] are the IDs of edges
+	// leaving n, inIDs likewise for edges entering n. Valid for the first
+	// csrNodes nodes and csrEdges edges; a Builder append invalidates the
+	// layout and the next adjacency access rebuilds it.
+	outOff, inOff      []int32
+	outIDs, inIDs      []EdgeID
+	csrNodes, csrEdges int
 	// nodeByEvent maps a trace event position to its node, -1 if dropped.
 	nodeByEvent []NodeID
 	// procNodes lists each process's kept nodes in local order.
@@ -100,25 +118,27 @@ type Options struct {
 	DropMessage func(m sim.Message) bool
 }
 
+// dropped reports whether message m is exempt from the graph (and hence
+// from the synchrony condition) under opts.
+func dropped(t *sim.Trace, opts Options, m sim.Message) bool {
+	if m.IsWakeup() {
+		return false
+	}
+	if m.From >= 0 && m.SendStep == sim.SendStepScripted {
+		return true // scripted sends come only from faulty processes
+	}
+	if t.Faulty[m.From] {
+		return true
+	}
+	return opts.DropMessage != nil && opts.DropMessage(m)
+}
+
 // Build constructs the execution graph of a trace.
 func Build(t *sim.Trace, opts Options) *Graph {
 	g := &Graph{
 		trace:       t,
 		nodeByEvent: make([]NodeID, len(t.Events)),
 		procNodes:   make([][]NodeID, t.N),
-	}
-
-	dropped := func(m sim.Message) bool {
-		if m.IsWakeup() {
-			return false
-		}
-		if m.From >= 0 && m.SendStep == sim.SendStepScripted {
-			return true // scripted sends come only from faulty processes
-		}
-		if t.Faulty[m.From] {
-			return true
-		}
-		return opts.DropMessage != nil && opts.DropMessage(m)
 	}
 
 	// Pass 1: create a node for every receive event. Events triggered by
@@ -151,7 +171,7 @@ func Build(t *sim.Trace, opts Options) *Graph {
 	for pos, ev := range t.Events {
 		to := g.nodeByEvent[pos]
 		m := t.Msgs[ev.Trigger]
-		if m.IsWakeup() || dropped(m) {
+		if m.IsWakeup() || dropped(t, opts, m) {
 			continue // external trigger or exempted: no message edge
 		}
 		sendPos := t.EventAt(m.From, m.SendStep)
@@ -160,15 +180,42 @@ func Build(t *sim.Trace, opts Options) *Graph {
 		}
 		from := g.nodeByEvent[sendPos]
 		g.edges = append(g.edges, Edge{From: from, To: to, Kind: Message, Msg: m.ID})
+		g.msgCount++
 	}
 
-	g.out = make([][]EdgeID, len(g.nodes))
-	g.in = make([][]EdgeID, len(g.nodes))
-	for i, e := range g.edges {
-		g.out[e.From] = append(g.out[e.From], EdgeID(i))
-		g.in[e.To] = append(g.in[e.To], EdgeID(i))
-	}
+	g.ensureCSR()
 	return g
+}
+
+// ensureCSR (re)builds the flat adjacency arrays when nodes or edges were
+// appended since the last build. It is a no-op on finalized graphs.
+func (g *Graph) ensureCSR() {
+	if g.csrNodes == len(g.nodes) && g.csrEdges == len(g.edges) {
+		return
+	}
+	n := len(g.nodes)
+	outOff := make([]int32, n+1)
+	inOff := make([]int32, n+1)
+	for _, e := range g.edges {
+		outOff[e.From+1]++
+		inOff[e.To+1]++
+	}
+	for i := 0; i < n; i++ {
+		outOff[i+1] += outOff[i]
+		inOff[i+1] += inOff[i]
+	}
+	outIDs := make([]EdgeID, len(g.edges))
+	inIDs := make([]EdgeID, len(g.edges))
+	fillO := make([]int32, n)
+	fillI := make([]int32, n)
+	for i, e := range g.edges {
+		outIDs[outOff[e.From]+fillO[e.From]] = EdgeID(i)
+		fillO[e.From]++
+		inIDs[inOff[e.To]+fillI[e.To]] = EdgeID(i)
+		fillI[e.To]++
+	}
+	g.outOff, g.inOff, g.outIDs, g.inIDs = outOff, inOff, outIDs, inIDs
+	g.csrNodes, g.csrEdges = n, len(g.edges)
 }
 
 // Trace returns the underlying trace.
@@ -190,10 +237,16 @@ func (g *Graph) Edge(id EdgeID) Edge { return g.edges[id] }
 func (g *Graph) Edges() []Edge { return g.edges }
 
 // Out returns the IDs of edges leaving n. The caller must not modify it.
-func (g *Graph) Out(n NodeID) []EdgeID { return g.out[n] }
+func (g *Graph) Out(n NodeID) []EdgeID {
+	g.ensureCSR()
+	return g.outIDs[g.outOff[n]:g.outOff[n+1]]
+}
 
 // In returns the IDs of edges entering n. The caller must not modify it.
-func (g *Graph) In(n NodeID) []EdgeID { return g.in[n] }
+func (g *Graph) In(n NodeID) []EdgeID {
+	g.ensureCSR()
+	return g.inIDs[g.inOff[n]:g.inOff[n+1]]
+}
 
 // NodesOf returns process p's kept nodes in local order.
 func (g *Graph) NodesOf(p sim.ProcessID) []NodeID { return g.procNodes[p] }
@@ -202,15 +255,52 @@ func (g *Graph) NodesOf(p sim.ProcessID) []NodeID { return g.procNodes[p] }
 // if the event was dropped.
 func (g *Graph) NodeByEvent(pos int) NodeID { return g.nodeByEvent[pos] }
 
-// MessageCount returns the number of non-local edges.
-func (g *Graph) MessageCount() int {
-	n := 0
+// MessageCount returns the number of non-local edges. It is O(1): the
+// count is maintained at build time.
+func (g *Graph) MessageCount() int { return g.msgCount }
+
+// IsDAG reports whether the graph is acyclic. Graphs of traces in causal
+// delivery order — everything the simulator or TraceBuilder produces —
+// have every edge pointing from a lower to a higher node ID, which a
+// single scan certifies; only externally loaded traces with reordered
+// events pay for a Kahn topological sort over the CSR adjacency.
+func (g *Graph) IsDAG() bool {
+	ordered := true
 	for _, e := range g.edges {
-		if e.Kind == Message {
-			n++
+		if e.To <= e.From {
+			ordered = false
+			break
 		}
 	}
-	return n
+	if ordered {
+		return true
+	}
+	g.ensureCSR()
+	n := len(g.nodes)
+	indeg := make([]int32, n)
+	for _, e := range g.edges {
+		indeg[e.To]++
+	}
+	queue := make([]int32, 0, n)
+	for v := 0; v < n; v++ {
+		if indeg[v] == 0 {
+			queue = append(queue, int32(v))
+		}
+	}
+	seen := 0
+	for len(queue) > 0 {
+		v := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		seen++
+		for _, eid := range g.outIDs[g.outOff[v]:g.outOff[v+1]] {
+			w := g.edges[eid].To
+			indeg[w]--
+			if indeg[w] == 0 {
+				queue = append(queue, int32(w))
+			}
+		}
+	}
+	return seen == n
 }
 
 // Digraph converts the execution graph to a graphutil.Digraph with edge

@@ -88,12 +88,18 @@ type prober struct {
 	cg *graphutil.Digraph
 	e  int64 // constraint-relevant execution edges
 	v  int64 // execution nodes
+	// dist is the distance vector of the most recent feasible probe,
+	// reused to warm-start the next probe's Bellman–Ford: consecutive
+	// Stern–Brocot candidates are close, so the previous solution is
+	// nearly feasible for the new weights and the sweep count collapses.
+	dist []int64
 }
 
 // newProber validates the execution graph and builds the constraint
-// digraph topology with placeholder weights.
+// digraph topology with placeholder weights. The DAG check runs directly
+// on the execution graph's CSR adjacency — no Digraph copy.
 func newProber(g *causality.Graph) (*prober, error) {
-	if !g.Digraph().IsDAG() {
+	if !g.IsDAG() {
 		return nil, errors.New("check: execution graph is not a DAG")
 	}
 	edges := g.Edges()
@@ -141,9 +147,29 @@ func (p *prober) probe(a, b int64, wantCerts bool) (Verdict, error) {
 		}
 	}
 
+	// Warm start from the previous feasible probe's distances when their
+	// magnitude leaves overflow headroom for this probe's path sums
+	// (|init| + (V+2)·(max|w|+1), with the second term already certified
+	// finite by the guard above).
+	var init []int64
+	if p.dist != nil {
+		var maxInit int64
+		for _, d := range p.dist {
+			if d > maxInit {
+				maxInit = d
+			} else if -d > maxInit {
+				maxInit = -d
+			}
+		}
+		if maxInit <= math.MaxInt64-(p.v+2)*(maxW*s+1) {
+			init = p.dist
+		}
+	}
+
 	g := p.g
-	res := p.cg.BellmanFord()
+	res := p.cg.BellmanFordFrom(init)
 	if res.Feasible {
+		p.dist = res.Dist
 		verdict := Verdict{Admissible: true}
 		if wantCerts {
 			verdict.Assignment = newAssignment(g, res.Dist, b*s)

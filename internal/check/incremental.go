@@ -1,0 +1,380 @@
+package check
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/causality"
+	"repro/internal/rat"
+	"repro/internal/sim"
+)
+
+// Incremental is a streaming admissibility monitor: it decides the ABC
+// synchrony condition (Definition 4) for a fixed Ξ over a growing trace,
+// at a cost proportional to what changed rather than to the whole trace.
+//
+// The batch checker re-solves the full difference-constraint system with
+// Bellman–Ford (O(V·E)) on every call. Incremental instead keeps the
+// constraint digraph and a feasible potential alive across appends:
+//
+//   - Constraint weights are lexicographic pairs (m, k): m accumulates the
+//     integer bound of the constraint scaled by b (working in x = b·t, the
+//     upper bound contributes +a, the lower bound −b, local edges 0) and k
+//     counts strict tightenings (−1 per edge). A cycle violates the system
+//     exactly when its pair sum is lexicographically negative — strictness
+//     handled without the batch checker's global E+1 scale, which would
+//     change on every append and invalidate all existing weights. Pair
+//     weights never change once written, which is what makes the system
+//     append-only.
+//   - Each new constraint arc is inserted with a Cotton–Maler repair
+//     (SAT-solver-style incremental difference-constraint propagation):
+//     the previous potential makes every old arc's reduced cost
+//     non-negative, so a Dijkstra over reduced costs starting at the new
+//     arc's head repairs the potential touching only the affected region,
+//     ~O(affected·log affected) per arc. Popping the new arc's tail proves
+//     a lexicographically negative cycle through the arc — infeasibility.
+//   - On infeasibility the engine falls back once to the exact batch
+//     Yen-sweep Bellman–Ford prober to extract the violating relevant
+//     cycle (Theorem 7 witness), then latches: the graph only grows, and
+//     inadmissibility is monotone under growth.
+//
+// Arc insertions follow event order, so the first infeasible insertion
+// identifies the exact minimal trace prefix whose execution graph is
+// inadmissible (FailedAt), even when Step consumes events in batches.
+//
+// An Incremental is not safe for concurrent use.
+type Incremental struct {
+	bld  *causality.Builder
+	xi   rat.Rat
+	a, b int64
+
+	// out is the constraint digraph's out-adjacency; dist the feasible
+	// potential (super-source semantics: new nodes start at (0, 0)).
+	out  [][]carc
+	dist []pair
+
+	// Dijkstra repair scratch, generation-stamped so per-repair resets are
+	// O(affected), not O(V).
+	cand    []pair
+	candGen []uint32
+	doneGen []uint32
+	gen     uint32
+	heap    []repairItem
+
+	infeasible bool
+	verdict    Verdict
+	failedAt   int
+}
+
+// pair is a lexicographic (m, k) weight/distance.
+type pair struct{ m, k int64 }
+
+func (p pair) less(q pair) bool { return p.m < q.m || (p.m == q.m && p.k < q.k) }
+
+// carc is one constraint arc: head node and the m component of its weight
+// (every arc's k component is −1).
+type carc struct {
+	to int32
+	m  int64
+}
+
+type repairItem struct {
+	key  pair // γ = candidate − dist, lexicographically negative
+	node int32
+}
+
+// NewIncremental returns a monitor for ABC(Ξ) over t, which may be empty,
+// a prefix, or complete; Step consumes whatever has been appended since
+// the last call. The trace must grow in causal delivery order (anything
+// the simulator produces does; see causality.Builder).
+func NewIncremental(t *sim.Trace, xi rat.Rat, opts causality.Options) (*Incremental, error) {
+	if !xi.Greater(rat.One) {
+		return nil, ErrXiOutOfRange
+	}
+	bld, err := causality.NewBuilder(t, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Incremental{
+		bld:      bld,
+		xi:       xi,
+		a:        xi.Num(),
+		b:        xi.Den(),
+		failedAt: -1,
+	}, nil
+}
+
+// Step consumes the trace events appended since the last call and returns
+// the verdict for the graph so far. Admissible verdicts carry no
+// assignment (use Certify); inadmissible verdicts carry the witness cycle
+// and are latched — the trace can only grow, and growth never removes a
+// violating cycle.
+func (inc *Incremental) Step() (Verdict, error) {
+	if inc.infeasible {
+		return inc.verdict, nil
+	}
+	g := inc.bld.Graph()
+	prevE := g.NumEdges()
+	if _, err := inc.bld.Append(); err != nil {
+		return Verdict{}, err
+	}
+	v := int64(g.NumNodes())
+	maxW := inc.a
+	if inc.b > maxW {
+		maxW = inc.b
+	}
+	// Overflow guard for the pair arithmetic: every m value is a walk sum,
+	// |m| <= (V+1)·max(a,b), and the repair heap keys subtract two such
+	// values. Guard 4·(V+2)·max(a,b) once per step.
+	if maxW > math.MaxInt64/4/(v+2) {
+		return Verdict{}, fmt.Errorf("check: graph too large for exact int64 arithmetic (V=%d, Ξ=%d/%d)", v, inc.a, inc.b)
+	}
+
+	for int64(len(inc.dist)) < v {
+		inc.dist = append(inc.dist, pair{})
+		inc.out = append(inc.out, nil)
+		inc.cand = append(inc.cand, pair{})
+		inc.candGen = append(inc.candGen, 0)
+		inc.doneGen = append(inc.doneGen, 0)
+	}
+
+	// New edges arrive grouped by their head — every edge's To is that
+	// batch event's fresh node (local edge first, then the message edge,
+	// in builder order). Before inserting a node's arcs, seed its
+	// potential at the highest feasible value: the message upper bound
+	// dist[sender] + (a, −1) when it has one, one message-width above its
+	// local predecessor otherwise. A fresh node's potential is a free
+	// choice (it has no arcs yet), and seeding high leaves the lower-bound
+	// arcs slack, so the common insert is a no-op instead of a repair
+	// cascade through the node's whole causal past.
+	edges := g.Edges()
+	for i := prevE; i < len(edges); {
+		node := edges[i].To
+		j := i
+		seed := pair{}
+		seeded := false
+		for ; j < len(edges) && edges[j].To == node; j++ {
+			from := edges[j].From
+			if edges[j].Kind == causality.Message {
+				// At most one incoming message per event; its upper bound
+				// caps the node, overriding any local-based seed.
+				seed = pair{inc.dist[from].m + inc.a, inc.dist[from].k - 1}
+				seeded = true
+				break
+			}
+			if !seeded {
+				seed = pair{inc.dist[from].m + inc.a, inc.dist[from].k - 1}
+				seeded = true
+			}
+		}
+		for ; j < len(edges) && edges[j].To == node; j++ {
+		}
+		inc.dist[node] = seed
+
+		for ; i < j; i++ {
+			e := edges[i]
+			feasible := true
+			switch e.Kind {
+			case causality.Message:
+				// 1 < t(v) − t(u) < a/b: upper arc u→v with m=+a, lower
+				// arc v→u with m=−b.
+				feasible = inc.insert(int32(e.From), carc{to: int32(e.To), m: inc.a}) &&
+					inc.insert(int32(e.To), carc{to: int32(e.From), m: -inc.b})
+			case causality.Local:
+				// t(v) − t(u) > 0: arc v→u with m=0.
+				feasible = inc.insert(int32(e.To), carc{to: int32(e.From), m: 0})
+			default:
+				return Verdict{}, fmt.Errorf("check: unknown edge kind %v", e.Kind)
+			}
+			if !feasible {
+				inc.failedAt = g.Node(e.To).TracePos
+				return inc.fallback(g)
+			}
+		}
+	}
+	inc.verdict = Verdict{Admissible: true}
+	return inc.verdict, nil
+}
+
+// insert adds the constraint arc tail→a and repairs the potential.
+// It reports false when the arc closes a lexicographically negative cycle
+// (the system became infeasible).
+func (inc *Incremental) insert(tail int32, a carc) bool {
+	inc.out[tail] = append(inc.out[tail], a)
+	nd := pair{inc.dist[tail].m + a.m, inc.dist[tail].k - 1}
+	if !nd.less(inc.dist[a.to]) {
+		return true // potential already satisfies the new arc
+	}
+	return inc.repair(tail, a.to, nd)
+}
+
+// repair restores d(x) <= d(u) + w(u, x) for all arcs after inserting
+// tail→head with candidate head value nd < d(head). It is a Dijkstra over
+// reduced costs: for old arcs (x, y), w + d(x) − d(y) >= 0, so the
+// improvement γ(y) = cand(y) − d(y) is non-decreasing along propagation
+// paths and nodes finalize in γ order, each at most once. Reaching the
+// inserted arc's tail with an improvement means the new arc would relax
+// again — a negative cycle through it — and repair reports false.
+func (inc *Incremental) repair(tail, head int32, nd pair) bool {
+	inc.gen++
+	gen := inc.gen
+	inc.cand[head] = nd
+	inc.candGen[head] = gen
+	inc.heap = inc.heap[:0]
+	inc.push(repairItem{key: pair{nd.m - inc.dist[head].m, nd.k - inc.dist[head].k}, node: head})
+
+	for len(inc.heap) > 0 {
+		it := inc.pop()
+		x := it.node
+		if inc.doneGen[x] == gen || inc.candGen[x] != gen {
+			continue // already finalized, or a leftover from no queue entry
+		}
+		// dist[x] is untouched until x finalizes, so the pushed key still
+		// reconstructs its candidate; a mismatch means a better candidate
+		// superseded this entry (lazy decrease-key).
+		if (pair{it.key.m + inc.dist[x].m, it.key.k + inc.dist[x].k}) != inc.cand[x] {
+			continue
+		}
+		if x == tail {
+			return false // the new arc relaxes again: negative cycle
+		}
+		inc.doneGen[x] = gen
+		inc.dist[x] = inc.cand[x]
+		dx := inc.dist[x]
+		for _, arc := range inc.out[x] {
+			y := arc.to
+			if inc.doneGen[y] == gen {
+				continue
+			}
+			c := pair{dx.m + arc.m, dx.k - 1}
+			if !c.less(inc.dist[y]) {
+				continue
+			}
+			if inc.candGen[y] == gen && !c.less(inc.cand[y]) {
+				continue
+			}
+			inc.cand[y] = c
+			inc.candGen[y] = gen
+			inc.push(repairItem{key: pair{c.m - inc.dist[y].m, c.k - inc.dist[y].k}, node: y})
+		}
+	}
+	return true
+}
+
+// fallback extracts the witness cycle with the exact batch prober once the
+// incremental potential proves infeasibility, and latches the verdict.
+func (inc *Incremental) fallback(g *causality.Graph) (Verdict, error) {
+	p, err := newProber(g)
+	if err != nil {
+		return Verdict{}, err
+	}
+	v, err := p.probe(inc.a, inc.b, true)
+	if err != nil {
+		return Verdict{}, err
+	}
+	if v.Admissible {
+		return Verdict{}, errors.New("check: internal error: incremental engine infeasible but batch checker admissible")
+	}
+	inc.infeasible = true
+	inc.verdict = v
+	return inc.verdict, nil
+}
+
+// Certify returns the current verdict with certificates materialized: for
+// an admissible graph, a normalized delay assignment (Theorem 7) built
+// from the live potential in O(V); for an inadmissible one, the latched
+// witness verdict.
+func (inc *Incremental) Certify() (Verdict, error) {
+	if inc.infeasible {
+		return inc.verdict, nil
+	}
+	g := inc.bld.Graph()
+	n := int64(g.NumNodes())
+	// Convert pair potentials to exact rationals: x(v) = m(v) + k(v)·ε
+	// with ε = 1/S for any S > max|k_i − k_j| keeps every strict
+	// inequality strict, and t = x/b. S is derived from the live
+	// potential, so the bound is tight rather than worst-case.
+	var maxM, maxK int64
+	for _, d := range inc.dist[:n] {
+		if a := abs64(d.m); a > maxM {
+			maxM = a
+		}
+		if a := abs64(d.k); a > maxK {
+			maxK = a
+		}
+	}
+	s := 2*maxK + 3
+	if maxM > (math.MaxInt64-maxK)/s || inc.b > math.MaxInt64/s {
+		return Verdict{}, fmt.Errorf("check: potential too large for exact certificate (V=%d, Ξ=%d/%d)", n, inc.a, inc.b)
+	}
+	scaled := make([]int64, n)
+	for i, d := range inc.dist[:n] {
+		scaled[i] = d.m*s + d.k
+	}
+	return Verdict{Admissible: true, Assignment: newAssignment(g, scaled, inc.b*s)}, nil
+}
+
+func abs64(x int64) int64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Verdict returns the most recent Step verdict.
+func (inc *Incremental) Verdict() Verdict { return inc.verdict }
+
+// FailedAt returns the position in Trace.Events of the earliest event
+// whose prefix graph is inadmissible, or -1 while the graph is admissible.
+func (inc *Incremental) FailedAt() int { return inc.failedAt }
+
+// Graph returns the execution graph built so far, with its adjacency
+// finalized so the snapshot is safe to read concurrently — as long as no
+// further Step interleaves with those reads.
+func (inc *Incremental) Graph() *causality.Graph { return inc.bld.Finalize() }
+
+// Trace returns the monitored trace.
+func (inc *Incremental) Trace() *sim.Trace { return inc.bld.Graph().Trace() }
+
+// push/pop implement a binary min-heap over lexicographic γ keys without
+// interface indirection.
+func (inc *Incremental) push(it repairItem) {
+	h := append(inc.heap, it)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h[i].key.less(h[parent].key) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+	inc.heap = h
+}
+
+func (inc *Incremental) pop() repairItem {
+	h := inc.heap
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h = h[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(h) && h[l].key.less(h[small].key) {
+			small = l
+		}
+		if r < len(h) && h[r].key.less(h[small].key) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h[i], h[small] = h[small], h[i]
+		i = small
+	}
+	inc.heap = h
+	return top
+}

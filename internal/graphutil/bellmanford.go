@@ -5,15 +5,60 @@ type BFResult struct {
 	// Feasible is true when the graph contains no negative-weight cycle.
 	Feasible bool
 	// Dist holds, for each node, the shortest-path distance from a virtual
-	// super-source connected to every node with a zero-weight edge. Valid
-	// only when Feasible is true. For a difference-constraint system with
-	// edges u->v of weight w meaning x[v] - x[u] <= w, Dist is a solution
-	// (x := Dist satisfies every constraint).
+	// super-source connected to every node with a zero-weight edge (or, for
+	// BellmanFordFrom, with the caller's initial labels). Valid only when
+	// Feasible is true. For a difference-constraint system with edges u->v
+	// of weight w meaning x[v] - x[u] <= w, Dist is a solution (x := Dist
+	// satisfies every constraint).
 	Dist []int64
 	// NegativeCycle is a minimal witness when Feasible is false: a sequence
 	// of edges e1..ek with e[i].To == e[i+1].From (cyclically) whose weights
 	// sum to a negative value. Empty when Feasible is true.
 	NegativeCycle []Edge
+}
+
+// bfPlan is the direction-partitioned CSR edge layout used by the
+// relaxation loop. It depends only on the topology — never on weights —
+// so it is built once per Digraph and reused across BellmanFord runs
+// (the Stern–Brocot ratio search re-weights and re-solves the same graph
+// O(log² K) times). AddEdge and Grow invalidate it.
+type bfPlan struct {
+	offF, offB []int32
+	adjF, adjB []int32
+}
+
+func (g *Digraph) bfplan() *bfPlan {
+	if g.plan != nil {
+		return g.plan
+	}
+	n := g.n
+	p := &bfPlan{offF: make([]int32, n+1), offB: make([]int32, n+1)}
+	for _, e := range g.edges {
+		if e.To >= e.From {
+			p.offF[e.From+1]++
+		} else {
+			p.offB[e.From+1]++
+		}
+	}
+	for i := 0; i < n; i++ {
+		p.offF[i+1] += p.offF[i]
+		p.offB[i+1] += p.offB[i]
+	}
+	p.adjF = make([]int32, p.offF[n])
+	p.adjB = make([]int32, p.offB[n])
+	fillF := make([]int32, n)
+	fillB := make([]int32, n)
+	for i, e := range g.edges {
+		if e.To >= e.From {
+			p.adjF[p.offF[e.From]+fillF[e.From]] = int32(i)
+			fillF[e.From]++
+		} else {
+			p.adjB[p.offB[e.From]+fillB[e.From]] = int32(i)
+			fillB[e.From]++
+		}
+	}
+	g.plan = p
+	return p
 }
 
 // BellmanFord solves single-source shortest paths from a virtual
@@ -36,8 +81,24 @@ type BFResult struct {
 // cycle exists, so — as with plain Bellman–Ford — a relaxation in pass
 // n+1 certifies a negative cycle, which predecessor-walking extracts.
 func (g *Digraph) BellmanFord() BFResult {
+	return g.BellmanFordFrom(nil)
+}
+
+// BellmanFordFrom is BellmanFord warm-started from the given initial node
+// labels (nil means all zero). It is equivalent to attaching the virtual
+// super-source with per-node edge weights init[v] instead of 0: any init
+// is sound — negative-cycle detection is unaffected and a feasible result
+// still satisfies every constraint — but an init close to a feasible
+// solution (e.g. the Dist of a previous probe of the same topology under
+// nearby weights) converges in far fewer passes. The caller must ensure
+// init magnitudes leave headroom for path sums (|init| + (n+1)·max|w|
+// must not overflow int64); init is not retained.
+func (g *Digraph) BellmanFordFrom(init []int64) BFResult {
 	n := g.n
-	dist := make([]int64, n) // all zero: super-source initialization
+	dist := make([]int64, n)
+	if init != nil {
+		copy(dist, init)
+	}
 	pred := make([]int32, n) // index into g.edges of the relaxing edge
 	for i := range pred {
 		pred[i] = -1
@@ -45,41 +106,14 @@ func (g *Digraph) BellmanFord() BFResult {
 	if len(g.edges) == 0 {
 		return BFResult{Feasible: true, Dist: dist}
 	}
-
-	// Grouped edge indices (CSR layout), forward and backward separately.
-	offF := make([]int32, n+1)
-	offB := make([]int32, n+1)
-	for _, e := range g.edges {
-		if e.To >= e.From {
-			offF[e.From+1]++
-		} else {
-			offB[e.From+1]++
-		}
-	}
-	for i := 0; i < n; i++ {
-		offF[i+1] += offF[i]
-		offB[i+1] += offB[i]
-	}
-	adjF := make([]int32, offF[n])
-	adjB := make([]int32, offB[n])
-	fillF := make([]int32, n)
-	fillB := make([]int32, n)
-	for i, e := range g.edges {
-		if e.To >= e.From {
-			adjF[offF[e.From]+fillF[e.From]] = int32(i)
-			fillF[e.From]++
-		} else {
-			adjB[offB[e.From]+fillB[e.From]] = int32(i)
-			fillB[e.From]++
-		}
-	}
+	p := g.bfplan()
 
 	var lastRelaxed int32 = -1
 	for iter := 0; iter <= n; iter++ {
 		lastRelaxed = -1
 		for u := 0; u < n; u++ {
 			du := dist[u]
-			for _, ei := range adjF[offF[u]:offF[u+1]] {
+			for _, ei := range p.adjF[p.offF[u]:p.offF[u+1]] {
 				e := g.edges[ei]
 				if nd := du + e.Weight; nd < dist[e.To] {
 					dist[e.To] = nd
@@ -90,7 +124,7 @@ func (g *Digraph) BellmanFord() BFResult {
 		}
 		for u := n - 1; u >= 0; u-- {
 			du := dist[u]
-			for _, ei := range adjB[offB[u]:offB[u+1]] {
+			for _, ei := range p.adjB[p.offB[u]:p.offB[u+1]] {
 				e := g.edges[ei]
 				if nd := du + e.Weight; nd < dist[e.To] {
 					dist[e.To] = nd

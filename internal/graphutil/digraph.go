@@ -20,9 +20,16 @@ type Edge struct {
 // Digraph is a directed multigraph over nodes 0..n-1 with int64 edge
 // weights. Parallel edges and self-loops are allowed. The zero value is an
 // empty graph with no nodes; use New to create a graph with nodes.
+//
+// A Digraph is not safe for concurrent use: BellmanFord caches its edge
+// layout inside the graph on first use (SetWeight keeps the cache;
+// AddEdge and Grow invalidate it).
 type Digraph struct {
 	n     int
 	edges []Edge
+	// plan is the cached Bellman–Ford edge layout; nil until first use,
+	// reset by topology changes.
+	plan *bfPlan
 }
 
 // New returns a digraph with n nodes and no edges.
@@ -47,6 +54,7 @@ func (g *Digraph) AddEdge(from, to int, weight int64, label int32) {
 		panic(fmt.Sprintf("graphutil: edge (%d,%d) out of range [0,%d)", from, to, g.n))
 	}
 	g.edges = append(g.edges, Edge{From: from, To: to, Weight: weight, Label: label})
+	g.plan = nil
 }
 
 // Edges returns the edge list. The caller must not modify the result.
@@ -62,6 +70,7 @@ func (g *Digraph) SetWeight(i int, weight int64) { g.edges[i].Weight = weight }
 func (g *Digraph) Grow(k int) int {
 	first := g.n
 	g.n += k
+	g.plan = nil
 	return first
 }
 

@@ -1,0 +1,101 @@
+package graphutil
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomConstraintGraph generates a digraph shaped like the checker's
+// constraint systems: mostly forward edges plus backward lower-bound
+// edges, with weights drawn so that both feasible and infeasible
+// instances occur.
+func randomConstraintGraph(rng *rand.Rand, n int) *Digraph {
+	g := New(n)
+	for i := 1; i < n; i++ {
+		g.AddEdge(rng.Intn(i), i, rng.Int63n(9)-1, int32(i))
+		if rng.Intn(2) == 0 {
+			g.AddEdge(i, rng.Intn(i), rng.Int63n(6)-4, int32(-i))
+		}
+	}
+	return g
+}
+
+func checkPotential(t *testing.T, g *Digraph, dist []int64) {
+	t.Helper()
+	for _, e := range g.Edges() {
+		if dist[e.To] > dist[e.From]+e.Weight {
+			t.Fatalf("dist violates edge %+v: %d > %d + %d", e, dist[e.To], dist[e.From], e.Weight)
+		}
+	}
+}
+
+// TestBellmanFordFromAgreesWithCold runs warm-started solves from
+// arbitrary (even adversarial) initial labels: feasibility verdicts must
+// match the cold run, warm distances must still satisfy every constraint,
+// and negative-cycle witnesses must still sum negative.
+func TestBellmanFordFromAgreesWithCold(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	feasible, infeasible := 0, 0
+	for trial := 0; trial < 300; trial++ {
+		n := 2 + rng.Intn(30)
+		g := randomConstraintGraph(rng, n)
+		cold := g.BellmanFord()
+
+		for warmTrial := 0; warmTrial < 3; warmTrial++ {
+			init := make([]int64, n)
+			for i := range init {
+				init[i] = rng.Int63n(41) - 20
+			}
+			warm := g.BellmanFordFrom(init)
+			if warm.Feasible != cold.Feasible {
+				t.Fatalf("trial %d: warm feasible=%v, cold=%v", trial, warm.Feasible, cold.Feasible)
+			}
+			if warm.Feasible {
+				checkPotential(t, g, warm.Dist)
+			} else if w := CycleWeight(warm.NegativeCycle); w >= 0 {
+				t.Fatalf("trial %d: warm negative cycle has weight %d", trial, w)
+			}
+		}
+		if cold.Feasible {
+			feasible++
+			checkPotential(t, g, cold.Dist)
+			// Re-solving warm from the solution itself must converge
+			// immediately to the same verdict.
+			again := g.BellmanFordFrom(cold.Dist)
+			if !again.Feasible {
+				t.Fatalf("trial %d: solution-warmed solve infeasible", trial)
+			}
+			checkPotential(t, g, again.Dist)
+		} else {
+			infeasible++
+		}
+	}
+	if feasible == 0 || infeasible == 0 {
+		t.Fatalf("degenerate sweep: %d feasible, %d infeasible", feasible, infeasible)
+	}
+}
+
+// TestPlanInvalidation pins that the cached relaxation plan tracks
+// topology changes: solve, add a negative cycle, solve again.
+func TestPlanInvalidation(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1, 1, 0)
+	if res := g.BellmanFord(); !res.Feasible {
+		t.Fatal("chain infeasible")
+	}
+	g.AddEdge(1, 2, -3, 1)
+	g.AddEdge(2, 1, 1, 2)
+	if res := g.BellmanFord(); res.Feasible {
+		t.Fatal("negative cycle missed after AddEdge on a solved graph")
+	}
+	first := g.Grow(1)
+	g.AddEdge(first, 0, 0, 3) // must not panic against a stale plan
+	if res := g.BellmanFord(); res.Feasible {
+		t.Fatal("negative cycle missed after Grow")
+	}
+	// SetWeight keeps the plan but must be reflected in the next solve.
+	g.SetWeight(1, 3)
+	if res := g.BellmanFord(); !res.Feasible {
+		t.Fatal("reweighted graph (cycle now positive) reported infeasible")
+	}
+}

@@ -40,6 +40,12 @@ type Job struct {
 	// Xi, when > 0, requests an ABC(Ξ) admissibility check of the job's
 	// trace; the verdict lands in JobResult.Verdict.
 	Xi rat.Rat
+	// Watch streams the ABC(Ξ=Xi) check through the incremental engine
+	// while the simulation runs (requires Cfg and Xi > 0): the run aborts
+	// at the first violating event, JobResult.FirstViolation records its
+	// trace position, and Verdict comes from the monitor instead of a
+	// batch re-check. The job's Cfg must not set its own sim Monitor.
+	Watch bool
 	// Ratio requests the exact critical-ratio search on the job's trace.
 	Ratio bool
 	// Check, when non-nil, runs on the worker after the simulation; its
@@ -70,6 +76,10 @@ type JobResult struct {
 	// Job.Ratio was set.
 	Ratio      rat.Rat
 	RatioFound bool
+	// FirstViolation is the Trace.Events position of the earliest event
+	// whose prefix graph is inadmissible, for Watch jobs; -1 when the run
+	// stayed admissible or the job did not watch.
+	FirstViolation int
 	// CheckErr is the error returned by Job.Check, if any.
 	CheckErr error
 	// Err reports an infrastructure failure: invalid config, checker
@@ -170,7 +180,7 @@ func Stream(ctx context.Context, jobs []Job, opts Options) <-chan JobResult {
 				// Drain the remaining indices as cancelled results so
 				// every job is accounted for.
 				for j := i; j < len(jobs); j++ {
-					out <- JobResult{Index: j, Key: jobs[j].Key, Err: ctx.Err()}
+					out <- JobResult{Index: j, Key: jobs[j].Key, Err: ctx.Err(), FirstViolation: -1}
 				}
 				return
 			}
@@ -185,7 +195,7 @@ func Stream(ctx context.Context, jobs []Job, opts Options) <-chan JobResult {
 			engine := sim.NewEngine()
 			for i := range indices {
 				if err := ctx.Err(); err != nil {
-					out <- JobResult{Index: i, Key: jobs[i].Key, Err: err}
+					out <- JobResult{Index: i, Key: jobs[i].Key, Err: err, FirstViolation: -1}
 					continue
 				}
 				out <- execute(engine, i, jobs[i])
@@ -217,26 +227,61 @@ func Run(ctx context.Context, jobs []Job, opts Options) ([]JobResult, Stats, err
 
 // execute runs one job on a worker's private engine.
 func execute(engine *sim.Engine, index int, job Job) JobResult {
-	res := JobResult{Index: index, Key: job.Key}
+	res := JobResult{Index: index, Key: job.Key, FirstViolation: -1}
+	var watcher *check.Watcher
 	switch {
 	case job.Cfg != nil:
-		sr, err := engine.Run(*job.Cfg)
+		cfg := *job.Cfg
+		if job.Watch {
+			if job.Xi.Sign() <= 0 {
+				res.Err = fmt.Errorf("runner: job %d (%s): Watch requires Xi > 0", index, job.Key)
+				return res
+			}
+			if cfg.Monitor != nil {
+				res.Err = fmt.Errorf("runner: job %d (%s): Watch conflicts with Cfg.Monitor", index, job.Key)
+				return res
+			}
+			w, err := check.NewWatcher(job.Xi, causality.Options{})
+			if err != nil {
+				res.Err = fmt.Errorf("runner: job %d (%s): %w", index, job.Key, err)
+				return res
+			}
+			watcher = w
+			cfg.Monitor = w.Monitor
+		}
+		sr, err := engine.Run(cfg)
 		if err != nil {
 			res.Err = fmt.Errorf("runner: job %d (%s): %w", index, job.Key, err)
 			return res
 		}
+		if sr.MonitorErr != nil && sr.MonitorErr != check.ErrInadmissible {
+			res.Err = fmt.Errorf("runner: job %d (%s): watch: %w", index, job.Key, sr.MonitorErr)
+			return res
+		}
 		res.Sim, res.Trace = sr, sr.Trace
 	case job.Trace != nil:
+		if job.Watch {
+			res.Err = fmt.Errorf("runner: job %d (%s): Watch requires Cfg", index, job.Key)
+			return res
+		}
 		res.Trace = job.Trace
 	default:
 		res.Err = errJobEmpty
 		return res
 	}
 
-	if job.Xi.Sign() > 0 || job.Ratio {
+	if watcher != nil {
+		v := watcher.Verdict()
+		res.Verdict = &v
+		res.FirstViolation = watcher.FirstViolation()
+		res.Graph = watcher.Graph()
+		if res.Graph == nil { // empty run: no event ever fired
+			res.Graph = causality.Build(res.Trace, causality.Options{})
+		}
+	} else if job.Xi.Sign() > 0 || job.Ratio {
 		res.Graph = causality.Build(res.Trace, causality.Options{})
 	}
-	if job.Xi.Sign() > 0 {
+	if job.Xi.Sign() > 0 && watcher == nil {
 		v, err := check.ABC(res.Graph, job.Xi)
 		if err != nil {
 			res.Err = fmt.Errorf("runner: job %d (%s): ABC check: %w", index, job.Key, err)

@@ -33,10 +33,11 @@ type Engine struct {
 	out        []pendingSend // Env send buffer, recycled between steps
 
 	// Per-run state; reset at the top of Run.
-	cfg   Config
-	trace *Trace
-	procs []Process
-	seq   int64
+	cfg        Config
+	trace      *Trace
+	procs      []Process
+	seq        int64
+	monitorErr error
 }
 
 // NewEngine returns an empty Engine. Equivalent to new(Engine); it exists
@@ -120,9 +121,9 @@ func (e *Engine) Run(cfg Config) (*Result, error) {
 	}
 
 	truncated := e.loop(maxEvents)
-	res := &Result{Trace: e.trace, Procs: e.procs, Truncated: truncated}
+	res := &Result{Trace: e.trace, Procs: e.procs, Truncated: truncated, MonitorErr: e.monitorErr}
 	// Drop the escaping references so pooled state never aliases a result.
-	e.trace, e.procs, e.cfg = nil, nil, Config{}
+	e.trace, e.procs, e.cfg, e.monitorErr = nil, nil, Config{}, nil
 	return res, nil
 }
 
@@ -133,6 +134,7 @@ func (e *Engine) Run(cfg Config) (*Result, error) {
 func (e *Engine) reset(cfg Config) {
 	e.cfg = cfg
 	e.seq = 0
+	e.monitorErr = nil
 	e.queue = e.queue[:0]
 	if e.rng == nil {
 		e.rng = rand.New(rand.NewSource(cfg.Seed))
@@ -252,6 +254,12 @@ func (e *Engine) loop(maxEvents int) (truncated bool) {
 		e.trace.Events = append(e.trace.Events, ev)
 		e.trace.eventAt[eventKey{p, ev.Index}] = pos
 
+		if e.cfg.Monitor != nil {
+			if err := e.cfg.Monitor(e.trace); err != nil {
+				e.monitorErr = err
+				return false
+			}
+		}
 		if ev.Processed && e.cfg.Until != nil && e.cfg.Until(e.procs) {
 			return false
 		}

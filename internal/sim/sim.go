@@ -26,6 +26,12 @@ type Config struct {
 	// stops once it returns true. It receives the process state machines
 	// (indexable by ProcessID) for inspection.
 	Until func(procs []Process) bool
+	// Monitor, when non-nil, observes the live trace after every recorded
+	// receive event (check-as-you-simulate). A non-nil return stops the
+	// run immediately; the error lands in Result.MonitorErr. The argument
+	// is the run's own growing trace — monitors must not mutate it, and
+	// anything retained from it aliases the returned Result.Trace.
+	Monitor func(t *Trace) error
 	// StartTimes optionally staggers wake-up times; nil means all zero.
 	StartTimes []Time
 }
@@ -38,6 +44,9 @@ type Result struct {
 	// Truncated is true when the run stopped due to MaxEvents or MaxTime
 	// rather than quiescence or the Until predicate.
 	Truncated bool
+	// MonitorErr is the error with which Config.Monitor stopped the run,
+	// nil when no monitor was set or it never objected.
+	MonitorErr error
 }
 
 // defaultMaxEvents bounds runaway executions of non-terminating algorithms
