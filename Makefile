@@ -4,11 +4,15 @@ GO ?= go
 # its heaviest consumers. Keep in sync with .github/workflows/ci.yml.
 BENCH_SMOKE = BenchmarkChecker|BenchmarkMaxRelevantRatio|BenchmarkSimulator|BenchmarkIncrementalChecker
 
-# Benchmarks recorded into BENCH_pr3.json by bench-json: the smoke set
+# Benchmarks recorded into $(BENCH_OUT) by bench-json: the smoke set
 # plus graph construction.
 BENCH_JSON = $(BENCH_SMOKE)|BenchmarkGraphBuild
 
-.PHONY: all build vet test race bench-smoke bench-json fuzz-smoke fleet-ci fleet-bench incremental-ci cover ci
+# Per-PR benchmark record; earlier PRs' files stay in the repository so
+# the trajectory can be diffed.
+BENCH_OUT ?= BENCH_pr5.json
+
+.PHONY: all build vet test race bench-smoke bench-json fuzz-smoke fleet-ci fleet-bench incremental-ci workloads-ci cover ci
 
 all: build
 
@@ -31,11 +35,11 @@ bench-smoke:
 	$(GO) test -run=NONE -bench='$(BENCH_SMOKE)' -benchmem -benchtime=10x .
 
 # bench-json records the perf trajectory: the headline benchmarks are
-# rendered to BENCH_pr3.json (via cmd/benchjson) so per-PR numbers live
+# rendered to $(BENCH_OUT) (via cmd/benchjson) so per-PR numbers live
 # in the repository and can be diffed, not just quoted in CHANGES.md.
 bench-json:
-	$(GO) test -run=NONE -bench='$(BENCH_JSON)' -benchmem -benchtime=20x . | $(GO) run ./cmd/benchjson > BENCH_pr3.json
-	@echo wrote BENCH_pr3.json
+	$(GO) test -run=NONE -bench='$(BENCH_JSON)' -benchmem -benchtime=20x . | $(GO) run ./cmd/benchjson > $(BENCH_OUT)
+	@echo wrote $(BENCH_OUT)
 
 # fuzz-smoke gives each differential fuzz target a short budget; the seed
 # corpus already pins the int64 overflow boundary, so even 10s runs cross
@@ -67,7 +71,18 @@ incremental-ci:
 	$(GO) test -race -run 'Incremental|Watch|Monitor|Builder|IsDAG|BellmanFordFrom|Plan' ./internal/check ./internal/causality ./internal/sim ./internal/runner ./internal/graphutil
 	$(GO) test -run=NONE -bench='BenchmarkIncrementalChecker' -benchmem -benchtime=10x .
 
+# workloads-ci mirrors the CI "workloads" job: the registry-wide
+# conformance suite (parameter hygiene, fleet==serial determinism,
+# verdict agreement with the batch checker, watch invisibility) under the
+# race detector with shuffled test order, the registry mechanics and CLI
+# suites, the E18 cross-workload matrix, and the example smoke tests.
+workloads-ci:
+	$(GO) test -race -shuffle=on ./internal/workload/... ./cmd/abcsim
+	$(GO) test -race -run 'TestRunAllWidthIndependent' ./internal/experiments
+	$(GO) test -run=NONE -bench='BenchmarkE18_CrossWorkload' -benchtime=1x .
+	$(GO) test ./examples/...
+
 cover:
 	$(GO) test -cover ./internal/runner ./internal/sim
 
-ci: vet race bench-smoke fleet-ci incremental-ci
+ci: vet race bench-smoke fleet-ci incremental-ci workloads-ci

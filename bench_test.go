@@ -58,7 +58,7 @@ func BenchmarkE14_Consensus(b *testing.B)           { benchExperiment(b, experim
 func BenchmarkE15_VLSIClockGeneration(b *testing.B) { benchExperiment(b, experiments.RunVLSI) }
 
 // BenchmarkFleetExperiments is the ISSUE 2 acceptance benchmark: the
-// complete E1–E17 evaluation through the fleet runner, serial vs 8
+// complete E1–E18 evaluation through the fleet runner, serial vs 8
 // workers. Per-seed traces and experiment Rows are bit-identical across
 // widths (TestRunAllWidthIndependent); the only difference is wall-clock.
 // The ≥3x target at 8 workers requires ≥8 hardware threads — on a
@@ -345,3 +345,8 @@ func BenchmarkGraphBuild(b *testing.B) {
 // BenchmarkE16_RelatedModels regenerates the Section 5.2 MCM/MMR
 // comparison.
 func BenchmarkE16_RelatedModels(b *testing.B) { benchExperiment(b, experiments.RunRelated) }
+
+// BenchmarkE18_CrossWorkload regenerates the registry-wide workload
+// matrix: every registered source × {admissible, perturbed-inadmissible}
+// through the streaming watcher, pinned against the batch checker.
+func BenchmarkE18_CrossWorkload(b *testing.B) { benchExperiment(b, experiments.RunCrossWorkload) }

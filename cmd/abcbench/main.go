@@ -1,5 +1,5 @@
 // Command abcbench regenerates the paper's evaluation: it runs every
-// experiment E1–E17 (the figure/theorem suite plus the supplementary VLSI
+// experiment E1–E18 (the figure/theorem suite plus the supplementary VLSI
 // and related-models experiments) and prints a claim-vs-measured table per
 // figure/theorem, exiting non-zero if any claim fails to reproduce.
 // EXPERIMENTS.md is the recorded output of this command.

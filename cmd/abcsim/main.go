@@ -1,28 +1,36 @@
-// Command abcsim runs ABC-model simulations and inspects their execution
-// graphs. It can run the built-in workloads (Byzantine clock
-// synchronization, lock-step rounds, all-to-all broadcast), report
-// admissibility and the exact critical ratio, export the trace as JSON for
-// cmd/abccheck, and render the space–time diagram as Graphviz DOT.
+// Command abcsim runs ABC-model workloads from the unified registry
+// (internal/workload) and inspects their execution graphs. Any registered
+// workload — clock synchronization, lock-step rounds, VLSI clock
+// generation, Θ-Model and ParSync embeddings, the Section 6 variants, the
+// paper's figure traces, plain broadcast — is selected with -workload,
+// parameterized with -param name=value (or the legacy shorthand flags),
+// swept over whole parameter axes with -sweep name=v1,v2,..., and checked
+// for ABC admissibility, exact critical ratio, and its domain-level
+// verdict (theorem monitors, protocol invariants). -list prints the
+// catalogue with each workload's parameter space.
 //
-// With -runs R > 1 it becomes a fleet sweep: the R seeds seed..seed+R-1
-// are sharded across -workers goroutines by internal/runner, one summary
-// line is printed per seed (in seed order, regardless of scheduling), and
-// an aggregate footer reports admissible/inadmissible counts, total
-// events, truncations, and the maximum critical ratio across the sweep.
+// With -runs R > 1 (or any -sweep) it becomes a fleet sweep: jobs are
+// sharded across -workers goroutines by internal/runner, one summary line
+// is printed per job (in grid order, regardless of scheduling), and an
+// aggregate footer reports admissible/inadmissible counts, total events,
+// truncations, domain-check failures, and the maximum critical ratio.
 // Per-seed traces are bit-identical to serial single runs of the same
 // seeds; -workers only changes wall-clock time.
 //
-// With -watch the admissibility check runs online: the incremental
-// engine (check.Incremental) grows the constraint system with every
-// simulated event, the run stops at the first violating event, and the
-// report names the exact event index at which admissibility first failed.
+// With -watch the admissibility check runs online: the incremental engine
+// (check.Incremental) grows the constraint system with every simulated
+// event, the run stops at the first violating event, and the report names
+// the exact event index at which admissibility first failed.
 //
 // Usage:
 //
+//	abcsim -list
 //	abcsim -workload clocksync -n 4 -f 1 -xi 2 -target 10 -seed 1 \
 //	       -trace trace.json -dot graph.dot
 //	abcsim -workload clocksync -n 7 -f 2 -runs 100 -workers 8
 //	abcsim -workload broadcast -n 3 -xi 3/2 -max 3 -watch
+//	abcsim -workload scenario -param fig=fig3 -sweep xi=3/2,2,3
+//	abcsim -workload vlsi -sweep scale=1,1/3 -param silent=1
 package main
 
 import (
@@ -33,15 +41,14 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"strings"
 
 	"repro/internal/causality"
-	"repro/internal/clocksync"
-	"repro/internal/core"
 	"repro/internal/graphutil"
-	"repro/internal/lockstep"
-	"repro/internal/rat"
 	"repro/internal/runner"
-	"repro/internal/sim"
+	"repro/internal/workload"
+
+	_ "repro/internal/workload/all"
 )
 
 func main() {
@@ -55,97 +62,105 @@ func main() {
 	}
 }
 
+// repeatFlag collects every occurrence of a repeatable flag.
+type repeatFlag []string
+
+func (r *repeatFlag) String() string     { return strings.Join(*r, " ") }
+func (r *repeatFlag) Set(v string) error { *r = append(*r, v); return nil }
+
+// legacyParams maps shorthand flags onto workload parameters of the same
+// name; they apply only when explicitly set, so unset flags defer to the
+// workload's own defaults.
+var legacyParams = []string{"n", "f", "xi", "target", "min", "max"}
+
 func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("abcsim", flag.ContinueOnError)
 	fs.SetOutput(stderr)
+	var params, sweeps repeatFlag
 	var (
-		workload = fs.String("workload", "clocksync", "clocksync | lockstep | broadcast")
-		n        = fs.Int("n", 4, "number of processes")
-		f        = fs.Int("f", 1, "Byzantine fault bound (clocksync/lockstep)")
-		xiStr    = fs.String("xi", "2", "model parameter Ξ (rational, e.g. 3/2)")
-		target   = fs.Int("target", 10, "target clock value / round / steps")
-		seed     = fs.Int64("seed", 1, "random seed (first seed of a -runs sweep)")
-		runs     = fs.Int("runs", 1, "number of seeds to run, starting at -seed")
-		workers  = fs.Int("workers", runtime.GOMAXPROCS(0), "fleet width for -runs sweeps (per-seed results are identical for any width)")
-		minD     = fs.String("min", "1", "minimum message delay")
-		maxD     = fs.String("max", "3/2", "maximum message delay")
-		watch    = fs.Bool("watch", false, "monitor ABC(Ξ) incrementally during the run and stop at the first violating event")
+		name    = fs.String("workload", "clocksync", "registered workload to run (see -list)")
+		list    = fs.Bool("list", false, "print the registered workloads with their parameter spaces and exit")
+		seed    = fs.Int64("seed", 1, "random seed (first seed of a -runs sweep)")
+		runs    = fs.Int("runs", 1, "number of seeds to run, starting at -seed")
+		workers = fs.Int("workers", runtime.GOMAXPROCS(0), "fleet width for sweeps (per-seed results are identical for any width)")
+		watch   = fs.Bool("watch", false, "monitor ABC(Ξ) incrementally during the run and stop at the first violating event")
+		// Legacy shorthands for the most common parameters; equivalent to
+		// -param <flag>=<value> and applied only when set.
+		_        = fs.Int("n", 4, "shorthand for -param n=...")
+		_        = fs.Int("f", 1, "shorthand for -param f=...")
+		_        = fs.String("xi", "2", "shorthand for -param xi=... (rational, e.g. 3/2)")
+		_        = fs.Int("target", 10, "shorthand for -param target=...")
+		_        = fs.String("min", "1", "shorthand for -param min=...")
+		_        = fs.String("max", "3/2", "shorthand for -param max=...")
 		traceOut = fs.String("trace", "", "write trace JSON to this file (single run only)")
 		dotOut   = fs.String("dot", "", "write execution graph DOT to this file (single run only)")
 	)
+	fs.Var(&params, "param", "workload parameter override name=value (repeatable)")
+	fs.Var(&sweeps, "sweep", "sweep axis name=v1,v2,... (repeatable; axes expand row-major, seeds innermost)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	xi, err := rat.Parse(*xiStr)
+	if *list {
+		printList(stdout)
+		return nil
+	}
+
+	src, ok := workload.Lookup(*name)
+	if !ok {
+		return fmt.Errorf("unknown workload %q (registered: %s)", *name, strings.Join(workload.Names(), ", "))
+	}
+
+	overrides := make(map[string]string)
+	fs.Visit(func(f *flag.Flag) {
+		for _, p := range legacyParams {
+			if f.Name == p {
+				overrides[p] = f.Value.String()
+			}
+		}
+	})
+	for _, kv := range params {
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			return fmt.Errorf("-param %q: want name=value", kv)
+		}
+		overrides[k] = v
+	}
+	base, err := src.Resolve(overrides)
 	if err != nil {
 		return err
 	}
-	model, err := core.NewModel(xi)
-	if err != nil {
-		return err
+
+	var axes []runner.Axis
+	for _, kv := range sweeps {
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok || v == "" {
+			return fmt.Errorf("-sweep %q: want name=v1,v2,...", kv)
+		}
+		axes = append(axes, runner.Axis{Param: k, Values: strings.Split(v, ",")})
 	}
-	min, err := rat.Parse(*minD)
-	if err != nil {
-		return err
-	}
-	max, err := rat.Parse(*maxD)
-	if err != nil {
-		return err
-	}
+
 	if *runs < 1 {
 		return fmt.Errorf("-runs %d, need at least 1", *runs)
 	}
 	if *workers < 1 {
 		*workers = runtime.GOMAXPROCS(0)
 	}
-	if *runs > 1 && (*traceOut != "" || *dotOut != "") {
-		return fmt.Errorf("-trace/-dot exports require a single run (-runs 1)")
+	single := *runs == 1 && len(axes) == 0
+	if !single && (*traceOut != "" || *dotOut != "") {
+		return fmt.Errorf("-trace/-dot exports require a single run (-runs 1, no -sweep)")
 	}
 
-	// mkConfig builds a fresh Config per seed: Spawn and Until closures
-	// are per-job so concurrent jobs share no state.
-	mkConfig := func(jobSeed int64) (sim.Config, error) {
-		cfg := sim.Config{
-			N:      *n,
-			Delays: sim.UniformDelay{Min: min, Max: max},
-			Seed:   jobSeed,
-		}
-		switch *workload {
-		case "clocksync":
-			cfg.Spawn = clocksync.Spawner(*n, *f)
-			cfg.Until = clocksync.AllReached(*target, nil)
-		case "lockstep":
-			cfg.Spawn = lockstep.Spawner(model, *n, *f, func(sim.ProcessID) lockstep.App {
-				return noopApp{}
-			})
-			cfg.Until = lockstep.AllReachedRound(*target, nil)
-		case "broadcast":
-			steps := *target
-			cfg.Spawn = func(sim.ProcessID) sim.Process {
-				return sim.ProcessFunc(func(env *sim.Env, msg sim.Message) {
-					if env.StepIndex() < steps {
-						env.Broadcast(env.StepIndex())
-					}
-				})
-			}
-		default:
-			return sim.Config{}, fmt.Errorf("unknown workload %q", *workload)
-		}
-		return cfg, nil
+	opt := workload.JobOptions{Watch: *watch, Ratio: true}
+	seeds := runner.Seeds(*seed, *runs)
+	var jobs []runner.Job
+	if len(axes) > 0 {
+		jobs, err = src.Grid(base, axes, seeds, opt)
+	} else {
+		jobs, err = src.Jobs(base, seeds, opt)
 	}
-
-	jobs := make([]runner.Job, *runs)
-	for i := range jobs {
-		jobSeed := *seed + int64(i)
-		cfg, err := mkConfig(jobSeed)
-		if err != nil {
-			return err
-		}
-		jobs[i] = runner.Job{
-			Key: fmt.Sprintf("seed=%d", jobSeed),
-			Cfg: &cfg, Xi: xi, Watch: *watch, Ratio: true,
-		}
+	if err != nil {
+		return err
 	}
 
 	results, stats, err := runner.Run(context.Background(), jobs, runner.Options{Workers: *workers})
@@ -158,15 +173,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 	}
 
-	if *runs == 1 {
-		return reportSingle(stdout, *workload, *n, *seed, results[0], xi, *traceOut, *dotOut)
+	if single {
+		return reportSingle(stdout, *name, base, *seed, results[0], jobs[0].Post != nil, *traceOut, *dotOut)
 	}
 
 	for _, r := range results {
-		status := "admissible"
-		if !r.Admissible() {
-			status = "INADMISSIBLE"
-		}
 		extra := ""
 		if r.RatioFound {
 			extra = fmt.Sprintf(" ratio=%v", r.Ratio)
@@ -174,14 +185,28 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if r.FirstViolation >= 0 {
 			extra += fmt.Sprintf(" first-violation=%d", r.FirstViolation)
 		}
-		if r.Sim.Truncated {
+		if r.Sim != nil && r.Sim.Truncated {
 			extra += " truncated"
 		}
-		fmt.Fprintf(stdout, "%s: %d events, %d messages, ABC(Ξ=%v) %s%s\n",
-			r.Key, len(r.Trace.Events), len(r.Trace.Msgs), xi, status, extra)
+		if r.CheckErr != nil {
+			extra += " domain-check-FAILED"
+		}
+		abc := ""
+		if r.Verdict != nil {
+			status := "admissible"
+			if !r.Verdict.Admissible {
+				status = "INADMISSIBLE"
+			}
+			abc = fmt.Sprintf(", ABC(Ξ=%v) %s", r.Xi, status)
+		}
+		fmt.Fprintf(stdout, "%s: %d events, %d messages%s%s\n",
+			r.Key, len(r.Trace.Events), len(r.Trace.Msgs), abc, extra)
 	}
 	fmt.Fprintf(stdout, "fleet: %d runs on %d workers: %d admissible, %d inadmissible, %d truncated, %d events total\n",
 		stats.Jobs, *workers, stats.Admissible, stats.Inadmissible, stats.Truncated, stats.Events)
+	if stats.CheckFailed > 0 {
+		fmt.Fprintf(stdout, "domain checks: %d of %d jobs FAILED\n", stats.CheckFailed, stats.Jobs)
+	}
 	if stats.MaxRatioFound {
 		fmt.Fprintf(stdout, "max critical ratio: %v (at %s)\n", stats.MaxRatio, stats.MaxRatioKey)
 	} else {
@@ -190,20 +215,48 @@ func run(args []string, stdout, stderr io.Writer) error {
 	return nil
 }
 
+// printList renders the registry catalogue: one block per workload with
+// its parameter space.
+func printList(stdout io.Writer) {
+	fmt.Fprintln(stdout, "registered workloads:")
+	for _, name := range workload.Names() {
+		s, _ := workload.Lookup(name)
+		fmt.Fprintf(stdout, "\n%s — %s\n", s.Name, s.Doc)
+		for _, p := range s.Params {
+			def := p.Default
+			if def == "" {
+				def = `""`
+			}
+			fmt.Fprintf(stdout, "  -param %-12s %-9s default %-8s %s\n", p.Name, p.Kind.String(), def, p.Doc)
+		}
+	}
+}
+
 // reportSingle preserves the original single-run report format.
-func reportSingle(stdout io.Writer, workload string, n int, seed int64, r runner.JobResult, xi rat.Rat, traceOut, dotOut string) error {
+// hasVerdict reports whether the job carried a domain verdict at all;
+// without one, no verdict line is printed rather than a vacuous "ok".
+func reportSingle(stdout io.Writer, name string, v workload.Values, seed int64, r runner.JobResult, hasVerdict bool, traceOut, dotOut string) error {
 	tr := r.Trace
 	g := r.Graph
-	fmt.Fprintf(stdout, "workload=%s n=%d seed=%d: %d events, %d messages, %d graph nodes\n",
-		workload, n, seed, len(tr.Events), len(tr.Msgs), g.NumNodes())
-	if r.Sim.Truncated {
+	if g == nil {
+		g = causality.Build(tr, causality.Options{})
+	}
+	header := "workload=" + name
+	if v.Has("n") {
+		header += fmt.Sprintf(" n=%d", v.Int("n"))
+	}
+	fmt.Fprintf(stdout, "%s seed=%d: %d events, %d messages, %d graph nodes\n",
+		header, seed, len(tr.Events), len(tr.Msgs), g.NumNodes())
+	if r.Sim != nil && r.Sim.Truncated {
 		fmt.Fprintln(stdout, "note: run truncated by event/time budget")
 	}
 
-	fmt.Fprintf(stdout, "ABC(Ξ=%v) admissible: %v\n", xi, r.Verdict.Admissible)
-	if !r.Verdict.Admissible {
-		fmt.Fprintf(stdout, "violating relevant cycle (ratio %v): %v\n",
-			r.Verdict.WitnessClass.Ratio(), *r.Verdict.Witness)
+	if r.Verdict != nil {
+		fmt.Fprintf(stdout, "ABC(Ξ=%v) admissible: %v\n", r.Xi, r.Verdict.Admissible)
+		if !r.Verdict.Admissible && r.Verdict.Witness != nil {
+			fmt.Fprintf(stdout, "violating relevant cycle (ratio %v): %v\n",
+				r.Verdict.WitnessClass.Ratio(), *r.Verdict.Witness)
+		}
 	}
 	if r.FirstViolation >= 0 {
 		ev := tr.Events[r.FirstViolation]
@@ -214,6 +267,11 @@ func reportSingle(stdout io.Writer, workload string, n int, seed int64, r runner
 		fmt.Fprintf(stdout, "critical ratio: %v (admissible for every Ξ > %v)\n", r.Ratio, r.Ratio)
 	} else {
 		fmt.Fprintln(stdout, "critical ratio: none (admissible for every Ξ > 1)")
+	}
+	if r.CheckErr != nil {
+		fmt.Fprintf(stdout, "domain verdict: FAILED: %v\n", r.CheckErr)
+	} else if hasVerdict {
+		fmt.Fprintln(stdout, "domain verdict: ok")
 	}
 
 	if traceOut != "" {
@@ -253,8 +311,3 @@ func reportSingle(stdout io.Writer, workload string, n int, seed int64, r runner
 	}
 	return nil
 }
-
-type noopApp struct{}
-
-func (noopApp) Init(self sim.ProcessID, n int) any { return int(self) }
-func (noopApp) Round(r int, received []any) any    { return r }

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/sim"
+	"repro/internal/workload"
 )
 
 func TestRunSingleBroadcast(t *testing.T) {
@@ -24,6 +25,10 @@ func TestRunSingleBroadcast(t *testing.T) {
 		if !strings.Contains(got, want) {
 			t.Errorf("output missing %q:\n%s", want, got)
 		}
+	}
+	// broadcast declares no domain verdict; no vacuous "ok" line.
+	if strings.Contains(got, "domain verdict") {
+		t.Errorf("verdict line printed for a verdict-free source:\n%s", got)
 	}
 }
 
@@ -130,12 +135,130 @@ func TestRunRejectsBadUsage(t *testing.T) {
 		{"-workload", "no-such-workload"},
 		{"-runs", "0"},
 		{"-runs", "2", "-trace", "t.json"},
+		{"-sweep", "xi=2,3", "-trace", "t.json"},
 		{"-xi", "not-a-rational"},
+		{"-param", "no-such-param=1"},
+		{"-param", "missing-equals"},
+		{"-sweep", "ghost=1,2"},
+		{"-sweep", "xi"},
+		{"-sweep", "xi=2,3", "-sweep", "xi=5/4"}, // duplicate axis
+		{"-workload", "scenario", "-n", "4"}, // scenario declares no n
+		{"-workload", "scenario", "-param", "fig=fig77"},
 	}
 	for _, args := range cases {
 		var out, errOut strings.Builder
 		if err := run(args, &out, &errOut); err == nil {
 			t.Errorf("args %v accepted", args)
 		}
+	}
+}
+
+// TestRunList pins the -list contract: every registered workload appears
+// with its parameter space, and the command exits cleanly.
+func TestRunList(t *testing.T) {
+	var out, errOut strings.Builder
+	if err := run([]string{"-list"}, &out, &errOut); err != nil {
+		t.Fatalf("run -list: %v (stderr: %s)", err, errOut.String())
+	}
+	got := out.String()
+	for _, name := range workload.Names() {
+		if !strings.Contains(got, "\n"+name+" — ") {
+			t.Errorf("-list output missing workload %q:\n%s", name, got)
+		}
+	}
+	for _, want := range []string{
+		"registered workloads:",
+		"-param fig", // scenario's parameter space is printed
+		"-param adversaries",
+		"rational",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("-list output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// TestRunRegistryWorkloads drives one representative of each source kind
+// end to end through the CLI: a trace source with -param, a simulation
+// source with domain verdicts, and a source without an admissibility
+// parameter.
+func TestRunRegistryWorkloads(t *testing.T) {
+	// Trace source: Fig. 3 at its violating Ξ.
+	var out, errOut strings.Builder
+	err := run([]string{"-workload", "scenario", "-param", "fig=fig3", "-xi", "2"}, &out, &errOut)
+	if err != nil {
+		t.Fatalf("scenario: %v (stderr: %s)", err, errOut.String())
+	}
+	for _, want := range []string{
+		"workload=scenario seed=1:",
+		"ABC(Ξ=2) admissible: false",
+		"critical ratio: 2 ",
+		"domain verdict: ok",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("scenario output missing %q:\n%s", want, out.String())
+		}
+	}
+
+	// Simulation source with theorem verdicts.
+	out.Reset()
+	err = run([]string{"-workload", "lockstep", "-n", "4", "-f", "1", "-target", "3", "-seed", "2"}, &out, &errOut)
+	if err != nil {
+		t.Fatalf("lockstep: %v (stderr: %s)", err, errOut.String())
+	}
+	for _, want := range []string{"workload=lockstep n=4 seed=2:", "domain verdict: ok"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("lockstep output missing %q:\n%s", want, out.String())
+		}
+	}
+
+	// Source without an xi parameter: no ABC clause, ratio still searched.
+	out.Reset()
+	err = run([]string{"-workload", "variants", "-target", "3", "-seed", "1"}, &out, &errOut)
+	if err != nil {
+		t.Fatalf("variants: %v (stderr: %s)", err, errOut.String())
+	}
+	if got := out.String(); strings.Contains(got, "ABC(") || !strings.Contains(got, "critical ratio:") {
+		t.Errorf("variants output wrong (want ratio, no ABC clause):\n%s", got)
+	}
+}
+
+// TestRunSweepGrid pins -sweep: axes expand row-major with seeds
+// innermost, per-cell keys name the swept values, and the footer
+// aggregates the whole grid.
+func TestRunSweepGrid(t *testing.T) {
+	var out, errOut strings.Builder
+	args := []string{"-workload", "scenario", "-param", "fig=fig1",
+		"-sweep", "xi=5/4,2", "-workers", "2"}
+	if err := run(args, &out, &errOut); err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errOut.String())
+	}
+	got := out.String()
+	wantLines := []string{
+		"scenario/xi=5/4/seed=1: ", "ABC(Ξ=5/4) INADMISSIBLE",
+		"scenario/xi=2/seed=1: ", "ABC(Ξ=2) admissible",
+		"fleet: 2 runs on 2 workers: 1 admissible, 1 inadmissible",
+		"max critical ratio: 5/4",
+	}
+	for _, want := range wantLines {
+		if !strings.Contains(got, want) {
+			t.Errorf("sweep output missing %q:\n%s", want, got)
+		}
+	}
+	// Grid order: the 5/4 cell precedes the 2 cell.
+	if strings.Index(got, "xi=5/4/seed=1") > strings.Index(got, "xi=2/seed=1") {
+		t.Errorf("sweep output not in grid order:\n%s", got)
+	}
+
+	// Truncated cells are flagged per line: a clocksync sweep whose event
+	// budget cannot reach the target.
+	out.Reset()
+	args = []string{"-workload", "clocksync", "-target", "4",
+		"-param", "maxevents=40", "-sweep", "n=4,7", "-f", "1"}
+	if err := run(args, &out, &errOut); err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errOut.String())
+	}
+	if got := out.String(); !strings.Contains(got, "truncated") {
+		t.Errorf("expected truncated runs in:\n%s", got)
 	}
 }

@@ -9,12 +9,20 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	abc "repro"
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(out io.Writer) error {
 	const n, f = 4, 1
 	model := abc.MustModel(abc.NewRat(2, 1)) // Ξ = 2
 
@@ -30,30 +38,31 @@ func main() {
 		Until:  abc.ClocksReached(20, faults),
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
-	fmt.Printf("execution: %d events, %d messages\n",
+	fmt.Fprintf(out, "execution: %d events, %d messages\n",
 		len(res.Trace.Events), len(res.Trace.Msgs))
-	fmt.Printf("ABC(Ξ=%v) admissible: %v\n", model.Xi(), verdict.Admissible)
+	fmt.Fprintf(out, "ABC(Ξ=%v) admissible: %v\n", model.Xi(), verdict.Admissible)
 	if verdict.Admissible {
 		min, max, _ := verdict.Assignment.MinMaxMessageDelay()
-		fmt.Printf("Theorem 7 certificate: delays assignable within (%v, %v)\n", min, max)
+		fmt.Fprintf(out, "Theorem 7 certificate: delays assignable within (%v, %v)\n", min, max)
 	}
 
 	// Theorem 3: real-time precision within X = ⌈2Ξ⌉.
 	x := model.PrecisionBound()
 	if err := abc.CheckRealTimePrecision(res.Trace, x); err != nil {
-		log.Fatalf("precision bound violated: %v", err)
+		return fmt.Errorf("precision bound violated: %w", err)
 	}
-	fmt.Printf("Theorem 3 verified: |Cp(t) − Cq(t)| <= %d at all times\n", x)
+	fmt.Fprintf(out, "Theorem 3 verified: |Cp(t) − Cq(t)| <= %d at all times\n", x)
 
 	// Theorem 2 on consistent cuts, and Theorem 4's bounded progress.
 	if err := abc.CheckCutSynchrony(graph, x); err != nil {
-		log.Fatalf("cut synchrony violated: %v", err)
+		return fmt.Errorf("cut synchrony violated: %w", err)
 	}
 	if err := abc.CheckBoundedProgress(graph, model.BoundedProgressRho()); err != nil {
-		log.Fatalf("bounded progress violated: %v", err)
+		return fmt.Errorf("bounded progress violated: %w", err)
 	}
-	fmt.Printf("Theorems 2 and 4 verified (ϱ = %d)\n", model.BoundedProgressRho())
+	fmt.Fprintf(out, "Theorems 2 and 4 verified (ϱ = %d)\n", model.BoundedProgressRho())
+	return nil
 }

@@ -1,0 +1,28 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestQuickstart smoke-tests the example end to end: the run must
+// complete, verify every theorem it claims to verify, and keep its
+// teaching output intact.
+func TestQuickstart(t *testing.T) {
+	var out strings.Builder
+	if err := run(&out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"execution: ",
+		"ABC(Ξ=2) admissible: true",
+		"Theorem 7 certificate: delays assignable within (",
+		"Theorem 3 verified",
+		"Theorems 2 and 4 verified",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}

@@ -11,7 +11,9 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	abc "repro"
 	"repro/internal/fifo"
@@ -19,6 +21,12 @@ import (
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(out io.Writer) error {
 	xi := abc.RatInt(4)
 	chain := abc.FIFOMinChainLen(xi) + 1 // one leg of margin
 
@@ -48,7 +56,7 @@ func main() {
 		MaxEvents: 50000,
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	// Delays really did grow without bound.
@@ -63,34 +71,35 @@ func main() {
 		}
 		last = d
 	}
-	fmt.Printf("first delay %.2f, final delay %.2f — unbounded growth\n",
+	fmt.Fprintf(out, "first delay %.2f, final delay %.2f — unbounded growth\n",
 		first.Float64(), last.Float64())
 
 	// Static Θ bounds erode as the formation drifts: already in this
 	// finite prefix the delay ratio exceeds 100, and it grows forever.
 	th := abc.CheckThetaStatic(res.Trace, abc.RatInt(100))
-	fmt.Printf("static Θ=100 admissible: %v (%s)\n", th.Admissible, th.Reason)
+	fmt.Fprintf(out, "static Θ=100 admissible: %v (%s)\n", th.Admissible, th.Reason)
 
 	// ...but the execution is ABC-admissible for Ξ = 4.
 	g := abc.BuildGraph(res.Trace)
 	v, err := abc.Check(g, xi)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("ABC(Ξ=%v) admissible: %v\n", xi, v.Admissible)
+	fmt.Fprintf(out, "ABC(Ξ=%v) admissible: %v\n", xi, v.Admissible)
 	if !v.Admissible {
-		log.Fatalf("unexpected violation: %v", v.Witness)
+		return fmt.Errorf("unexpected violation: %v", v.Witness)
 	}
 
 	// And FIFO order held without sequence numbers.
 	recv := res.Procs[2].(*fifo.Receiver)
-	fmt.Print("received: ")
+	fmt.Fprint(out, "received: ")
 	for _, it := range recv.Got {
-		fmt.Printf("%v ", it.V)
+		fmt.Fprintf(out, "%v ", it.V)
 	}
-	fmt.Println()
+	fmt.Fprintln(out)
 	if !recv.InOrder() || len(recv.Got) != len(items) {
-		log.Fatal("FIFO order violated")
+		return fmt.Errorf("FIFO order violated")
 	}
-	fmt.Println("in-order delivery verified under unbounded delay growth")
+	fmt.Fprintln(out, "in-order delivery verified under unbounded delay growth")
+	return nil
 }

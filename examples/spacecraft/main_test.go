@@ -1,0 +1,28 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSpacecraft smoke-tests the drifting-formation example: unbounded
+// delay growth breaks every static Θ, yet the execution stays
+// ABC-admissible and delivery stays in order.
+func TestSpacecraft(t *testing.T) {
+	var out strings.Builder
+	if err := run(&out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"unbounded growth",
+		"static Θ=100 admissible: false",
+		"ABC(Ξ=4) admissible: true",
+		"received: alpha beta gamma delta epsilon",
+		"in-order delivery verified under unbounded delay growth",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}

@@ -9,19 +9,27 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	abc "repro"
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(out io.Writer) error {
 	xi := abc.NewRat(2, 1)
 	const n, f = 4, 1
 
 	// A 4-module chip: heterogeneous wires from place-and-route.
 	chip, err := abc.NewChip(n, abc.RatInt(1), abc.NewRat(3, 2))
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	chip.SetName(0, "tickgen-NW")
 	chip.SetName(1, "tickgen-NE")
@@ -29,42 +37,43 @@ func main() {
 	chip.SetName(3, "tickgen-SE")
 	// The diagonal wires are longer.
 	if err := chip.SetWire(0, 3, abc.NewRat(5, 4), abc.NewRat(15, 8)); err != nil {
-		log.Fatal(err)
+		return err
 	}
 	if err := chip.SetWire(3, 0, abc.NewRat(5, 4), abc.NewRat(15, 8)); err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	report, err := abc.RunClockGeneration(chip, xi, f, 12, map[abc.ProcessID]abc.Fault{
 		2: abc.Silent(), // one fab defect: a dead module
 	}, 9)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("original node: admissible=%v precision-ok=%v max-tick=%d critical-ratio=%v\n",
+	fmt.Fprintf(out, "original node: admissible=%v precision-ok=%v max-tick=%d critical-ratio=%v\n",
 		report.Admissible, report.PrecisionOK, report.MaxTick, report.CriticalRatio)
 	if !report.Admissible || !report.PrecisionOK {
-		log.Fatal("clock generation failed on the original node")
+		return fmt.Errorf("clock generation failed on the original node")
 	}
 
 	// Technology migration: all wires 3x faster.
 	faster, err := chip.Migrate(abc.NewRat(1, 3))
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	report2, err := abc.RunClockGeneration(faster, xi, f, 12, map[abc.ProcessID]abc.Fault{
 		2: abc.Silent(),
 	}, 9)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("migrated node: admissible=%v precision-ok=%v max-tick=%d critical-ratio=%v\n",
+	fmt.Fprintf(out, "migrated node: admissible=%v precision-ok=%v max-tick=%d critical-ratio=%v\n",
 		report2.Admissible, report2.PrecisionOK, report2.MaxTick, report2.CriticalRatio)
 	if !report2.Admissible || !report2.PrecisionOK {
-		log.Fatal("clock generation failed after migration")
+		return fmt.Errorf("clock generation failed after migration")
 	}
 	if !report.CriticalRatio.Equal(report2.CriticalRatio) {
-		log.Fatal("migration changed the critical ratio — Ξ re-validation would be required")
+		return fmt.Errorf("migration changed the critical ratio — Ξ re-validation would be required")
 	}
-	fmt.Println("technology migration preserved Ξ: no algorithm change needed")
+	fmt.Fprintln(out, "technology migration preserved Ξ: no algorithm change needed")
+	return nil
 }

@@ -1,0 +1,26 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestVLSIMigration smoke-tests the technology-migration example: both
+// process nodes run admissibly within the precision bound and the
+// critical ratio is preserved by uniform scaling.
+func TestVLSIMigration(t *testing.T) {
+	var out strings.Builder
+	if err := run(&out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"original node: admissible=true precision-ok=true",
+		"migrated node: admissible=true precision-ok=true",
+		"technology migration preserved Ξ: no algorithm change needed",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}

@@ -30,7 +30,7 @@ func TestAllExperimentsReproduce(t *testing.T) {
 }
 
 // TestRunAllWidthIndependent pins the fleet guarantee at the evaluation
-// level: the complete E1–E17 suite produces identical Rows whether the
+// level: the complete E1–E18 suite produces identical Rows whether the
 // experiments (and their internal simulation batches) run serially or
 // across 4 workers. Skipped under -short for the same reason as the full
 // suite above.

@@ -1,0 +1,48 @@
+package parsync
+
+import (
+	"fmt"
+
+	"repro/internal/runner"
+	"repro/internal/workload"
+)
+
+// The parsync workload is the Fig. 8 Prover/Adversary game (Section 5.1):
+// for the adversary's (Φ, Δ) and the Prover's Ξ, the job carries the
+// constructed witness trace. The domain verdict is the game's outcome —
+// the execution must be ABC(Ξ)-admissible yet violate ParSync(Φ, Δ) —
+// which is exactly the separation M_ABC ⊄ M_ParSync.
+func init() {
+	workload.Register(workload.Source{
+		Name: "parsync",
+		Doc:  "Fig. 8 Prover/Adversary game: ABC-admissible executions outside ParSync(Φ, Δ)",
+		Params: []workload.Param{
+			{Name: "phi", Kind: workload.Int, Default: "3", Doc: "adversary's relative-speed bound Φ"},
+			{Name: "delta", Kind: workload.Int, Default: "3", Doc: "adversary's message-delay bound Δ"},
+			{Name: "xi", Kind: workload.Rational, Default: "2", Doc: "Prover's model parameter Ξ (must exceed 1)"},
+		},
+		Job: func(v workload.Values, seed int64) (runner.Job, error) {
+			tr, err := ProverExecution(v.Int("phi"), v.Int("delta"), v.Rat("xi"))
+			if err != nil {
+				return runner.Job{}, err
+			}
+			return runner.Job{Trace: tr}, nil
+		},
+		Verdict: func(v workload.Values, r *runner.JobResult) error {
+			if r.Verdict == nil || !r.Xi.Equal(v.Rat("xi")) {
+				// No Ξ check, or the sweep checked a different Ξ than the
+				// Prover committed to: the game claim does not apply.
+				return nil
+			}
+			rep := Check(r.Trace, v.Int("phi"), v.Int("delta"))
+			if !r.Verdict.Admissible {
+				return fmt.Errorf("parsync: prover execution not ABC(%v)-admissible", v.Rat("xi"))
+			}
+			if rep.Admissible {
+				return fmt.Errorf("parsync: ParSync(Φ=%d, Δ=%d) accepted the prover execution (step gap %d, delay %d)",
+					v.Int("phi"), v.Int("delta"), rep.MaxStepGap, rep.MaxDelay)
+			}
+			return nil
+		},
+	})
+}

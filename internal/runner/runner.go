@@ -52,6 +52,12 @@ type Job struct {
 	// error is recorded in JobResult.CheckErr (a check failure, distinct
 	// from the infrastructure error in JobResult.Err).
 	Check func(*sim.Result) error
+	// Post, when non-nil, runs on the worker after everything else with
+	// the complete job result — trace, graph, verdict, ratio. It is the
+	// domain-check hook of the workload pipeline (internal/workload):
+	// theorem monitors, protocol invariants, model comparisons. Its error
+	// is recorded in JobResult.CheckErr when Check did not already fail.
+	Post func(*JobResult) error
 }
 
 // JobResult is the outcome of one job. Exactly one result is produced per
@@ -70,6 +76,10 @@ type JobResult struct {
 	// Graph is the execution graph, built only when the job requested an
 	// admissibility check or ratio search.
 	Graph *causality.Graph
+	// Xi echoes Job.Xi — the Ξ the admissibility check (if any) ran
+	// against, which Post hooks need when a sweep overrides the
+	// workload's own parameter.
+	Xi rat.Rat
 	// Verdict is the ABC(Ξ) verdict when Job.Xi > 0.
 	Verdict *check.Verdict
 	// Ratio and RatioFound report the critical-ratio search when
@@ -91,6 +101,23 @@ type JobResult struct {
 // check was requested or the job errored).
 func (r JobResult) Admissible() bool {
 	return r.Err == nil && r.Verdict != nil && r.Verdict.Admissible
+}
+
+// CompletedAdmissible reports whether a simulation job ran to completion
+// (neither truncated nor aborted at a watch violation) without being
+// proven inadmissible — the shared precondition of the domain theorem
+// verdicts in the workload registrations. requireVerdict additionally
+// demands that an ABC check actually ran: theorems that presuppose
+// perpetual admissibility (Sections 3/5) must pass true, while checks
+// whose claims survive without it (the ◇ABC variants) pass false.
+func (r JobResult) CompletedAdmissible(requireVerdict bool) bool {
+	if r.Sim == nil || r.Sim.Truncated || r.FirstViolation >= 0 {
+		return false
+	}
+	if r.Verdict == nil {
+		return !requireVerdict
+	}
+	return r.Verdict.Admissible
 }
 
 // Options configures a fleet run.
@@ -227,7 +254,7 @@ func Run(ctx context.Context, jobs []Job, opts Options) ([]JobResult, Stats, err
 
 // execute runs one job on a worker's private engine.
 func execute(engine *sim.Engine, index int, job Job) JobResult {
-	res := JobResult{Index: index, Key: job.Key, FirstViolation: -1}
+	res := JobResult{Index: index, Key: job.Key, Xi: job.Xi, FirstViolation: -1}
 	var watcher *check.Watcher
 	switch {
 	case job.Cfg != nil:
@@ -299,6 +326,9 @@ func execute(engine *sim.Engine, index int, job Job) JobResult {
 	}
 	if job.Check != nil {
 		res.CheckErr = job.Check(res.Sim)
+	}
+	if job.Post != nil && res.CheckErr == nil {
+		res.CheckErr = job.Post(&res)
 	}
 	return res
 }

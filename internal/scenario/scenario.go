@@ -129,6 +129,30 @@ func buildPingPong(late bool) *sim.Trace {
 	return b.MustBuild()
 }
 
+// Fig9 is the cumulative-constraint scenario of Fig. 9 (Section 5.3): the
+// q↔p ping-pong spans a three-hop path q→r→s→r→q whose individual wires
+// are mismatched by a factor of 18 (rs takes 1/2 a time unit, qr takes 9),
+// yet the cumulative delays along every relevant cycle stay within Ξ = 3 —
+// per-wire ratios do not matter, only per-cycle message counts.
+type Fig9 struct {
+	Trace *sim.Trace
+	Graph *causality.Graph
+}
+
+// BuildFig9 constructs the Fig. 9 scenario.
+func BuildFig9() Fig9 {
+	b := sim.NewTraceBuilder(4)
+	b.WakeAll(rat.Zero)
+	b.MsgAt(0, 0, 1, 5, "qp")
+	b.MsgAt(1, 1, 0, 10, "pq")
+	b.MsgAt(0, 0, 2, 9, "qr") // slow wire
+	b.Msg(2, 1, 3, rat.New(19, 2), "rs")
+	b.MsgAt(3, 1, 2, 10, "sr")
+	b.MsgAt(2, 2, 0, 19, "rq")
+	tr := b.MustBuild()
+	return Fig9{Trace: tr, Graph: causality.Build(tr, causality.Options{})}
+}
+
 // Fig2 is the execution graph of Fig. 2: two relevant cycles X and Y that
 // share one message e with opposite orientations (e ∈ X+ and e ∈ Y−), so
 // that the combined cycle X ⊕ Y consists of all edges except e.

@@ -1,0 +1,82 @@
+package vlsi
+
+import (
+	"fmt"
+
+	"repro/internal/clocksync"
+	"repro/internal/rat"
+	"repro/internal/runner"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// The vlsi workload is DARTS-style clock generation (Section 5.3):
+// Algorithm 1 over a placed-and-routed chip whose wire delays come from
+// the default range, optionally scaled by a migration factor (a faster
+// process node scales every wire uniformly, preserving all cycle ratios
+// and hence Ξ). `silent` dead modules model fab defects. The domain
+// verdict is the Theorem 3 precision bound on admissible, complete runs.
+func init() {
+	workload.Register(workload.Source{
+		Name: "vlsi",
+		Doc:  "VLSI clock generation on a placed-and-routed chip (Section 5.3), with technology migration",
+		Params: []workload.Param{
+			{Name: "n", Kind: workload.Int, Default: "4", Doc: "number of chip modules (n >= 3f+1)"},
+			{Name: "f", Kind: workload.Int, Default: "1", Doc: "Byzantine fault bound"},
+			{Name: "xi", Kind: workload.Rational, Default: "2", Doc: "model parameter Ξ"},
+			{Name: "target", Kind: workload.Int, Default: "10", Doc: "tick every correct module must reach"},
+			{Name: "min", Kind: workload.Rational, Default: "1", Doc: "default wire delay lower bound"},
+			{Name: "max", Kind: workload.Rational, Default: "3/2", Doc: "default wire delay upper bound"},
+			{Name: "scale", Kind: workload.Rational, Default: "1", Doc: "technology-migration factor applied to every wire"},
+			{Name: "silent", Kind: workload.Int, Default: "0", Doc: "number of dead modules (fab defects), IDs n-1 downward"},
+			{Name: "maxevents", Kind: workload.Int, Default: "400000", Doc: "receive-event budget"},
+		},
+		Job:     vlsiJob,
+		Verdict: vlsiVerdict,
+	})
+}
+
+func vlsiJob(v workload.Values, seed int64) (runner.Job, error) {
+	n, f := v.Int("n"), v.Int("f")
+	chip, err := NewChip(n, v.Rat("min"), v.Rat("max"))
+	if err != nil {
+		return runner.Job{}, err
+	}
+	if scale := v.Rat("scale"); !scale.Equal(rat.One) {
+		if chip, err = chip.Migrate(scale); err != nil {
+			return runner.Job{}, err
+		}
+	}
+	silent := v.Int("silent")
+	if silent < 0 || silent > f {
+		return runner.Job{}, fmt.Errorf("vlsi: silent=%d must be within [0, f=%d]", silent, f)
+	}
+	var faults map[sim.ProcessID]sim.Fault
+	if silent > 0 {
+		faults = make(map[sim.ProcessID]sim.Fault, silent)
+		for i := 0; i < silent; i++ {
+			faults[sim.ProcessID(n-1-i)] = sim.Silent()
+		}
+	}
+	cfg := sim.Config{
+		N:         n,
+		Spawn:     clocksync.Spawner(n, f),
+		Faults:    faults,
+		Delays:    chip.DelayPolicy(),
+		Seed:      seed,
+		Until:     clocksync.AllReached(v.Int("target"), faults),
+		MaxEvents: v.Int("maxevents"),
+	}
+	return runner.Job{Cfg: &cfg}, nil
+}
+
+// vlsiVerdict checks the Theorem 3 precision bound ⌈2Ξ⌉ — the property
+// technology migration must preserve — on admissible, complete runs. The
+// bound derives from r.Xi, the Ξ the admissibility check actually ran
+// against (a sweep may override the xi parameter).
+func vlsiVerdict(v workload.Values, r *runner.JobResult) error {
+	if !r.CompletedAdmissible(true) {
+		return nil
+	}
+	return clocksync.CheckRealTimePrecision(r.Trace, r.Xi.MulInt(2).Ceil())
+}

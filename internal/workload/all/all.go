@@ -1,0 +1,18 @@
+// Package all links every workload registration in the repository. The
+// domain packages register their sources from init, so importing them —
+// even blank — is what populates the registry; binaries and tests that
+// want the full catalogue (cmd/abcsim, the experiments, the conformance
+// suite) import this package instead of tracking the domain list
+// themselves. The broadcast and scenario sources register with the
+// workload package itself (scenario's figures are the checker's own test
+// ground truth, so package scenario stays import-free of the fleet).
+package all
+
+import (
+	_ "repro/internal/clocksync"
+	_ "repro/internal/lockstep"
+	_ "repro/internal/parsync"
+	_ "repro/internal/theta"
+	_ "repro/internal/variants"
+	_ "repro/internal/vlsi"
+)
