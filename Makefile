@@ -2,17 +2,20 @@ GO ?= go
 
 # Headline benchmarks guarded per-PR: the exact-arithmetic substrate and
 # its heaviest consumers. Keep in sync with .github/workflows/ci.yml.
-BENCH_SMOKE = BenchmarkChecker|BenchmarkMaxRelevantRatio|BenchmarkSimulator|BenchmarkIncrementalChecker
+# BenchmarkSimulator's N=100k sparse cases are excluded from the smoke
+# (seconds per iteration); bench-json records the full grid.
+BENCH_SMOKE = BenchmarkChecker|BenchmarkMaxRelevantRatio|BenchmarkIncrementalChecker
+BENCH_SIM_SMOKE = BenchmarkSimulator/.*/^n=(8|100|10000)$$
 
-# Benchmarks recorded into $(BENCH_OUT) by bench-json: the smoke set
-# plus graph construction.
-BENCH_JSON = $(BENCH_SMOKE)|BenchmarkGraphBuild
+# Benchmarks recorded into $(BENCH_OUT) by bench-json: the smoke set, the
+# full simulator topology grid, and graph construction.
+BENCH_JSON = $(BENCH_SMOKE)|BenchmarkSimulator|BenchmarkGraphBuild
 
 # Per-PR benchmark record; earlier PRs' files stay in the repository so
 # the trajectory can be diffed.
-BENCH_OUT ?= BENCH_pr5.json
+BENCH_OUT ?= BENCH_pr6.json
 
-.PHONY: all build vet test race bench-smoke bench-json fuzz-smoke fleet-ci fleet-bench incremental-ci workloads-ci cover ci
+.PHONY: all build vet test race bench-smoke bench-json fuzz-smoke fleet-ci fleet-bench incremental-ci workloads-ci topology-ci cover ci
 
 all: build
 
@@ -33,6 +36,7 @@ race:
 # real benchstat comparison.
 bench-smoke:
 	$(GO) test -run=NONE -bench='$(BENCH_SMOKE)' -benchmem -benchtime=10x .
+	$(GO) test -run=NONE -bench='$(BENCH_SIM_SMOKE)' -benchmem -benchtime=10x .
 
 # bench-json records the perf trajectory: the headline benchmarks are
 # rendered to $(BENCH_OUT) (via cmd/benchjson) so per-PR numbers live
@@ -82,7 +86,17 @@ workloads-ci:
 	$(GO) test -run=NONE -bench='BenchmarkE18_CrossWorkload' -benchtime=1x .
 	$(GO) test ./examples/...
 
+# topology-ci mirrors the CI "topology" job: the sparse-topology suites —
+# generator structure, ParseTopology, broadcast/self-delivery semantics,
+# scripted-send validation, heap-vs-calendar queue differential, key
+# collisions, and the fleet==serial sparse conformance cases — under the
+# race detector with shuffled order, plus a bench smoke at N=10k ring so
+# fan-out regressions fail fast.
+topology-ci:
+	$(GO) test -race -shuffle=on -run 'Topo|Sparse|Queue|Broadcast|Island|Script|PointKey|Ring|Torus|Regular|ScaleFree|Links' ./internal/sim ./internal/runner ./internal/workload/...
+	$(GO) test -run=NONE -bench='BenchmarkSimulator/topo=ring/^n=10000$$' -benchmem -benchtime=10x .
+
 cover:
 	$(GO) test -cover ./internal/runner ./internal/sim
 
-ci: vet race bench-smoke fleet-ci incremental-ci workloads-ci
+ci: vet race bench-smoke fleet-ci incremental-ci workloads-ci topology-ci

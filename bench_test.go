@@ -262,34 +262,65 @@ func BenchmarkCycleEnumeration(b *testing.B) {
 	}
 }
 
-// BenchmarkSimulator measures event throughput of the discrete-event core.
+// BenchmarkSimulator measures event throughput of the discrete-event core
+// across topologies and system sizes. The sparse cases are the PR 6
+// acceptance target: events/sec at N=100k on a ring/torus must stay within
+// 10x of the N=100 fully-connected case (per-event cost is what the CSR
+// broadcast fast path and the calendar delivery queue control; total events
+// differ by construction). The n=10000 ring doubles as the CI fan-out
+// smoke.
 func BenchmarkSimulator(b *testing.B) {
-	cfg := sim.Config{
-		N: 8,
-		Spawn: func(p sim.ProcessID) sim.Process {
-			return sim.ProcessFunc(func(env *sim.Env, msg sim.Message) {
-				if env.StepIndex() < 50 {
-					env.Broadcast(env.StepIndex())
+	cases := []struct {
+		topo     string
+		n, steps int
+	}{
+		{"full", 8, 50}, // the historical shape, for trajectory continuity
+		{"full", 100, 5},
+		{"ring", 10000, 3},
+		{"ring", 100000, 3},
+		{"torus", 100000, 3},
+	}
+	for _, tc := range cases {
+		b.Run(fmt.Sprintf("topo=%s/n=%d", tc.topo, tc.n), func(b *testing.B) {
+			topo, err := sim.ParseTopology(tc.topo, tc.n, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			steps := tc.steps
+			cfg := sim.Config{
+				N: tc.n,
+				Spawn: func(p sim.ProcessID) sim.Process {
+					return sim.ProcessFunc(func(env *sim.Env, msg sim.Message) {
+						if env.StepIndex() < steps {
+							env.Broadcast(env.StepIndex())
+						}
+					})
+				},
+				Delays:    sim.UniformDelay{Min: rat.One, Max: rat.New(3, 2)},
+				Topology:  topo,
+				Seed:      1,
+				MaxEvents: 1 << 23,
+			}
+			engine := sim.NewEngine()
+			// One run to count events for the metrics.
+			warm, err := engine.Run(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if warm.Truncated {
+				b.Fatal("benchmark run truncated; raise MaxEvents")
+			}
+			events := len(warm.Trace.Events)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := engine.Run(cfg); err != nil {
+					b.Fatal(err)
 				}
-			})
-		},
-		Delays:    sim.UniformDelay{Min: rat.One, Max: rat.New(3, 2)},
-		Seed:      1,
-		MaxEvents: 1 << 20,
+			}
+			b.ReportMetric(float64(events), "events/run")
+			b.ReportMetric(float64(events)*float64(b.N)/b.Elapsed().Seconds(), "events/sec")
+		})
 	}
-	// One run to count events for the metric.
-	warm, err := sim.Run(cfg)
-	if err != nil {
-		b.Fatal(err)
-	}
-	events := len(warm.Trace.Events)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := sim.Run(cfg); err != nil {
-			b.Fatal(err)
-		}
-	}
-	b.ReportMetric(float64(events), "events/run")
 }
 
 // BenchmarkClockSyncScale measures Algorithm 1 runs across system sizes

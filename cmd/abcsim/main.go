@@ -31,6 +31,13 @@
 //	abcsim -workload broadcast -n 3 -xi 3/2 -max 3 -watch
 //	abcsim -workload scenario -param fig=fig3 -sweep xi=3/2,2,3
 //	abcsim -workload vlsi -sweep scale=1,1/3 -param silent=1
+//
+// Simulation workloads declare a topology axis (sim.ParseTopology syntax:
+// full, ring, torus[/RxC], regular/D, scalefree/M, islands/K; the sparse
+// engine makes N ≈ 10^5 rings/tori tractable):
+//
+//	abcsim -workload broadcast -param n=10000 -param topology=torus
+//	abcsim -workload vlsi -param n=9 -param maxevents=3000 -sweep topology=full,torus,regular/4 -runs 5
 package main
 
 import (

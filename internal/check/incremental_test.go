@@ -86,20 +86,22 @@ func checkAgreement(t *testing.T, ctx string, tr *sim.Trace, j int, inc *Increme
 func TestIncrementalDifferential(t *testing.T) {
 	type topo struct {
 		name string
-		fn   func(n int) func(from, to sim.ProcessID) bool
+		fn   func(n int) sim.Topology
 	}
 	topos := []topo{
-		{"full", func(int) func(from, to sim.ProcessID) bool { return nil }},
-		{"ring", func(n int) func(from, to sim.ProcessID) bool {
-			return func(from, to sim.ProcessID) bool {
+		{"full", func(int) sim.Topology { return nil }},
+		{"ring", func(n int) sim.Topology {
+			return sim.TopologyFunc(func(from, to sim.ProcessID) bool {
 				return to == (from+1)%sim.ProcessID(n) || to == from
-			}
+			})
 		}},
-		{"star", func(n int) func(from, to sim.ProcessID) bool {
-			return func(from, to sim.ProcessID) bool { return from == 0 || to == 0 || from == to }
+		{"star", func(n int) sim.Topology {
+			return sim.TopologyFunc(func(from, to sim.ProcessID) bool {
+				return from == 0 || to == 0 || from == to
+			})
 		}},
-		{"pair", func(n int) func(from, to sim.ProcessID) bool {
-			return func(from, to sim.ProcessID) bool { return from/2 == to/2 }
+		{"pair", func(n int) sim.Topology {
+			return sim.TopologyFunc(func(from, to sim.ProcessID) bool { return from/2 == to/2 })
 		}},
 	}
 	delays := []struct {

@@ -12,15 +12,21 @@ type Point struct {
 	Topology string
 }
 
-// Key renders the point as a stable human-readable label.
+// Key renders the point as a stable human-readable label. Every segment is
+// an explicit name=value pair: bare values joined by "/" were ambiguous
+// once axis values themselves contain "/" (topology specs like
+// "torus/4x4"), letting distinct points collide on one key.
 func (p Point) Key() string {
-	s := fmt.Sprintf("seed=%d", p.Seed)
+	var s string
 	if p.N > 0 {
-		s = fmt.Sprintf("n=%d/%s", p.N, s)
+		s = fmt.Sprintf("n=%d/", p.N)
 	}
-	for _, part := range []string{p.Delay, p.Fault, p.Topology} {
-		if part != "" {
-			s += "/" + part
+	s += fmt.Sprintf("seed=%d", p.Seed)
+	for _, part := range []struct{ name, value string }{
+		{"delay", p.Delay}, {"fault", p.Fault}, {"topology", p.Topology},
+	} {
+		if part.value != "" {
+			s += "/" + part.name + "=" + part.value
 		}
 	}
 	return s

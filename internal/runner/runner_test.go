@@ -143,10 +143,10 @@ func TestGridExpansionOrderAndKeys(t *testing.T) {
 	}
 	// Row-major, seed innermost: first four cells cover delay "fast".
 	want := []string{
-		"g/n=2/seed=0/fast/full", "g/n=2/seed=1/fast/full",
-		"g/n=3/seed=0/fast/full", "g/n=3/seed=1/fast/full",
-		"g/n=2/seed=0/slow/full", "g/n=2/seed=1/slow/full",
-		"g/n=3/seed=0/slow/full", "g/n=3/seed=1/slow/full",
+		"g/n=2/seed=0/delay=fast/topology=full", "g/n=2/seed=1/delay=fast/topology=full",
+		"g/n=3/seed=0/delay=fast/topology=full", "g/n=3/seed=1/delay=fast/topology=full",
+		"g/n=2/seed=0/delay=slow/topology=full", "g/n=2/seed=1/delay=slow/topology=full",
+		"g/n=3/seed=0/delay=slow/topology=full", "g/n=3/seed=1/delay=slow/topology=full",
 	}
 	for i, j := range jobs {
 		if j.Key != want[i] {
@@ -169,6 +169,29 @@ func TestGridExpansionOrderAndKeys(t *testing.T) {
 	g.Make = func(p Point) (Job, error) { return Job{}, gridErr }
 	if _, err := g.Jobs(); !errors.Is(err, gridErr) {
 		t.Errorf("grid error not propagated: %v", err)
+	}
+}
+
+// TestPointKeyNoCollisions pins the name=value segment format of Point.Key.
+// The former bare-value join made distinct points collide once axis values
+// contained "/" — exactly what generated topology specs like "torus/4x4"
+// do — because a slash inside a value was indistinguishable from a segment
+// separator.
+func TestPointKeyNoCollisions(t *testing.T) {
+	points := []Point{
+		{Seed: 1, N: 4, Delay: "a/b"},
+		{Seed: 1, N: 4, Delay: "a", Fault: "b"},
+		{Seed: 1, N: 4, Delay: "a", Topology: "b"},
+		{Seed: 1, N: 4, Topology: "torus/4x4"},
+		{Seed: 1, N: 4, Fault: "torus", Topology: "4x4"},
+	}
+	seen := make(map[string]Point, len(points))
+	for _, p := range points {
+		k := p.Key()
+		if prev, dup := seen[k]; dup {
+			t.Errorf("key %q collides: %+v and %+v", k, prev, p)
+		}
+		seen[k] = p
 	}
 }
 

@@ -135,15 +135,12 @@ func (b *TraceBuilder) Build() (*Trace, error) {
 		return nil, b.err
 	}
 	t := &Trace{
-		N:       b.n,
-		Events:  b.events,
-		Msgs:    b.msgs,
-		Faulty:  b.faulty,
-		eventAt: make(map[eventKey]int, len(b.events)),
+		N:      b.n,
+		Events: b.events,
+		Msgs:   b.msgs,
+		Faulty: b.faulty,
 	}
-	for i, ev := range b.events {
-		t.eventAt[eventKey{ev.Proc, ev.Index}] = i
-	}
+	t.indexEvents()
 	if err := t.Validate(); err != nil {
 		return nil, err
 	}

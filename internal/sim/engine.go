@@ -25,7 +25,9 @@ import (
 type Engine struct {
 	// Pooled across runs.
 	rng        *rand.Rand
-	queue      deliveryQueue
+	heapQ      heapQueue
+	wheelQ     *bucketQueue
+	queue      eventQueue // points at heapQ or wheelQ per Config.Queue
 	crashAfter []int
 	stepCount  []int // computing steps executed per process
 	eventCount []int // receive events recorded per process
@@ -34,6 +36,7 @@ type Engine struct {
 
 	// Per-run state; reset at the top of Run.
 	cfg        Config
+	links      *Links // cfg.Topology when it is a *Links, else nil
 	trace      *Trace
 	procs      []Process
 	seq        int64
@@ -62,12 +65,31 @@ func (e *Engine) Run(cfg Config) (*Result, error) {
 	if cfg.StartTimes != nil && len(cfg.StartTimes) != cfg.N {
 		return nil, fmt.Errorf("sim: StartTimes has length %d, want %d", len(cfg.StartTimes), cfg.N)
 	}
+	var links *Links
+	if l, ok := cfg.Topology.(*Links); ok && l != nil {
+		if l.N() != cfg.N {
+			return nil, fmt.Errorf("sim: topology is over %d processes, config has N = %d", l.N(), cfg.N)
+		}
+		links = l
+	}
 	for p, f := range cfg.Faults {
 		if p < 0 || int(p) >= cfg.N {
 			return nil, fmt.Errorf("sim: fault for invalid process %d", p)
 		}
 		if f.CrashAfter < NeverCrash {
 			return nil, fmt.Errorf("sim: fault for process %d has CrashAfter = %d", p, f.CrashAfter)
+		}
+		// Scripted sends go through the same wiring rules as Env.Send: a
+		// Byzantine process controls its behavior, not the network — it
+		// cannot message across links that do not exist (see the adversary
+		// model note in fault.go). Self-sends are always legal.
+		for _, s := range f.Script {
+			if s.To < 0 || int(s.To) >= cfg.N {
+				return nil, fmt.Errorf("sim: scripted send from %d to invalid process %d", p, s.To)
+			}
+			if s.To != p && cfg.Topology != nil && !cfg.Topology.Linked(p, s.To) {
+				return nil, fmt.Errorf("sim: scripted send from %d to %d crosses a non-existent link", p, s.To)
+			}
 		}
 	}
 	maxEvents := cfg.MaxEvents
@@ -77,6 +99,13 @@ func (e *Engine) Run(cfg Config) (*Result, error) {
 
 	cfg.Delays = compileDelays(cfg.Delays)
 	e.reset(cfg)
+	e.links = links
+	if links != nil && cap(e.out) < links.MaxOutDegree()+1 {
+		// Pre-size the pooled send buffer to the worst-case broadcast
+		// fan-out (+1 for the woven-in self-delivery) so steps never grow
+		// it incrementally.
+		e.out = make([]pendingSend, 0, links.MaxOutDegree()+1)
+	}
 
 	for p := ProcessID(0); int(p) < cfg.N; p++ {
 		handler := cfg.Spawn(p)
@@ -106,7 +135,7 @@ func (e *Engine) Run(cfg Config) (*Result, error) {
 			From: External, To: p, SendStep: SendStepExternal,
 			SendTime: at, RecvTime: at, Payload: Wakeup{},
 		})
-		e.queue.push(delivery{at: at, seq: e.nextSeq(), msg: id})
+		e.queue.push(delivery{at: at, key: deliveryKey(at), seq: e.nextSeq(), msg: id})
 	}
 	// Scripted Byzantine sends, in process order for determinism (map
 	// iteration order is randomized).
@@ -123,7 +152,7 @@ func (e *Engine) Run(cfg Config) (*Result, error) {
 	truncated := e.loop(maxEvents)
 	res := &Result{Trace: e.trace, Procs: e.procs, Truncated: truncated, MonitorErr: e.monitorErr}
 	// Drop the escaping references so pooled state never aliases a result.
-	e.trace, e.procs, e.cfg, e.monitorErr = nil, nil, Config{}, nil
+	e.trace, e.procs, e.cfg, e.links, e.monitorErr = nil, nil, Config{}, nil, nil
 	return res, nil
 }
 
@@ -135,7 +164,16 @@ func (e *Engine) reset(cfg Config) {
 	e.cfg = cfg
 	e.seq = 0
 	e.monitorErr = nil
-	e.queue = e.queue[:0]
+	if cfg.Queue == QueueBucket || (cfg.Queue == QueueAuto && cfg.N >= autoBucketN) {
+		if e.wheelQ == nil {
+			e.wheelQ = newBucketQueue()
+		}
+		e.wheelQ.reset()
+		e.queue = e.wheelQ
+	} else {
+		e.heapQ = e.heapQ[:0]
+		e.queue = &e.heapQ
+	}
 	if e.rng == nil {
 		e.rng = rand.New(rand.NewSource(cfg.Seed))
 	} else {
@@ -150,7 +188,7 @@ func (e *Engine) reset(cfg Config) {
 	}
 
 	// Escaping per-run state: always fresh.
-	e.trace = &Trace{N: cfg.N, Faulty: make([]bool, cfg.N), eventAt: make(map[eventKey]int)}
+	e.trace = &Trace{N: cfg.N, Faulty: make([]bool, cfg.N), eventPos: make([][]int32, cfg.N)}
 	e.procs = make([]Process, cfg.N)
 }
 
@@ -206,11 +244,11 @@ func (e *Engine) sendMessage(from ProcessID, sendStep int, sendTime Time, to Pro
 	}
 	m.RecvTime = recv
 	e.trace.Msgs = append(e.trace.Msgs, m)
-	e.queue.push(delivery{at: recv, seq: e.nextSeq(), msg: m.ID})
+	e.queue.push(delivery{at: recv, key: deliveryKey(recv), seq: e.nextSeq(), msg: m.ID})
 }
 
 func (e *Engine) loop(maxEvents int) (truncated bool) {
-	for len(e.queue) > 0 {
+	for e.queue.len() > 0 {
 		if len(e.trace.Events) >= maxEvents {
 			return true
 		}
@@ -235,7 +273,8 @@ func (e *Engine) loop(maxEvents int) (truncated bool) {
 				self:      p,
 				n:         e.cfg.N,
 				stepIndex: e.stepCount[p],
-				connected: e.cfg.Topology,
+				topo:      e.cfg.Topology,
+				links:     e.links,
 				out:       e.out[:0],
 			}
 			e.procs[p].Step(&env, m)
@@ -252,7 +291,9 @@ func (e *Engine) loop(maxEvents int) (truncated bool) {
 		}
 		pos := len(e.trace.Events)
 		e.trace.Events = append(e.trace.Events, ev)
-		e.trace.eventAt[eventKey{p, ev.Index}] = pos
+		// ev.Index == len(eventPos[p]) by construction, so this appends the
+		// dense per-process index row.
+		e.trace.eventPos[p] = append(e.trace.eventPos[p], int32(pos))
 
 		if e.cfg.Monitor != nil {
 			if err := e.cfg.Monitor(e.trace); err != nil {

@@ -46,9 +46,9 @@ func engineTestConfigs() map[string]Config {
 					{From: 0, To: 1}: ConstantDelay{D: rat.New(1, 2)},
 				},
 			},
-			Topology: func(from, to ProcessID) bool {
+			Topology: TopologyFunc(func(from, to ProcessID) bool {
 				return to == (from+1)%5 || from == to
-			},
+			}),
 			Seed: 3, MaxEvents: 20000,
 		},
 		"override-stagger-n4": {

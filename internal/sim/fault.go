@@ -19,6 +19,14 @@ type Fault struct {
 	// independent of any computing step — the fully adversarial behavior
 	// permitted of Byzantine processes. Scripted messages are subject to
 	// the delay policy like any other message.
+	//
+	// Adversary model: a Byzantine process controls its own behavior, not
+	// the network's wiring. Scripted sends therefore pass the same checks
+	// as Env.Send — Run rejects configurations whose ScriptedSend.To is out
+	// of range or crosses a link the topology does not provide (self-sends
+	// are always legal). An adversary that could forge traffic on
+	// non-existent links would be strictly stronger than the paper's model,
+	// where faulty processes are still bound by the point-to-point network.
 	Script []ScriptedSend
 }
 

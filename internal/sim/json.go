@@ -101,11 +101,10 @@ func ReadJSON(r io.Reader) (*Trace, error) {
 		return nil, fmt.Errorf("sim: decoding trace: %w", err)
 	}
 	t := &Trace{
-		N:       jt.N,
-		Faulty:  jt.Faulty,
-		Events:  make([]Event, len(jt.Events)),
-		Msgs:    make([]Message, len(jt.Msgs)),
-		eventAt: make(map[eventKey]int, len(jt.Events)),
+		N:      jt.N,
+		Faulty: jt.Faulty,
+		Events: make([]Event, len(jt.Events)),
+		Msgs:   make([]Message, len(jt.Msgs)),
 	}
 	for i, je := range jt.Events {
 		tm, err := rat.Parse(je.Time)
@@ -120,7 +119,6 @@ func ReadJSON(r io.Reader) (*Trace, error) {
 			Proc: ProcessID(je.Proc), Index: je.Index, Time: tm,
 			Trigger: MsgID(je.Trigger), Processed: je.Processed, Note: note,
 		}
-		t.eventAt[eventKey{ProcessID(je.Proc), je.Index}] = i
 	}
 	for i, jm := range jt.Msgs {
 		st, err := rat.Parse(jm.SendTime)
@@ -143,6 +141,7 @@ func ReadJSON(r io.Reader) (*Trace, error) {
 			SendStep: jm.SendStep, SendTime: st, RecvTime: rt, Payload: payload,
 		}
 	}
+	t.indexEvents()
 	if err := t.Validate(); err != nil {
 		return nil, err
 	}

@@ -95,22 +95,40 @@ type Trace struct {
 	// Faulty[p] is true when process p was configured with a fault
 	// (crash or Byzantine).
 	Faulty []bool
-	// eventAt maps (proc, index) to the position in Events.
-	eventAt map[eventKey]int
-}
-
-type eventKey struct {
-	proc  ProcessID
-	index int
+	// eventPos[p][i] is the position in Events of process p's i-th receive
+	// event. Dense per-process rows replace the former (proc, index) hash
+	// map: the engine appends one entry per recorded event, and EventAt is
+	// two bounds checks and a load. int32 positions are ample — traces are
+	// memory-bound far below 2^31 events.
+	eventPos [][]int32
 }
 
 // EventAt returns the position in Events of process p's index-th receive
 // event, or -1 if it does not exist.
 func (t *Trace) EventAt(p ProcessID, index int) int {
-	if pos, ok := t.eventAt[eventKey{p, index}]; ok {
-		return pos
+	if p < 0 || int(p) >= len(t.eventPos) {
+		return -1
 	}
-	return -1
+	row := t.eventPos[p]
+	if index < 0 || index >= len(row) {
+		return -1
+	}
+	return int(row[index])
+}
+
+// indexEvents rebuilds eventPos from Events. Entries that are out of range
+// or not dense per process are skipped; Validate reports them.
+func (t *Trace) indexEvents() {
+	if t.N <= 0 {
+		return
+	}
+	t.eventPos = make([][]int32, t.N)
+	for i, ev := range t.Events {
+		if ev.Proc < 0 || int(ev.Proc) >= t.N || ev.Index != len(t.eventPos[ev.Proc]) {
+			continue
+		}
+		t.eventPos[ev.Proc] = append(t.eventPos[ev.Proc], int32(i))
+	}
 }
 
 // EventsOf returns the positions (into Events) of all receive events at p,
@@ -165,21 +183,12 @@ func (t *Trace) MaxTime() Time {
 // internal/check) and must therefore rebuild the event index.
 func Reassemble(n int, events []Event, msgs []Message, faulty []bool) (*Trace, error) {
 	t := &Trace{
-		N:       n,
-		Events:  events,
-		Msgs:    msgs,
-		Faulty:  faulty,
-		eventAt: make(map[eventKey]int, len(events)),
+		N:      n,
+		Events: events,
+		Msgs:   msgs,
+		Faulty: faulty,
 	}
-	// Per-process indices must be dense in order; Validate checks the
-	// rest.
-	next := make([]int, n)
-	for i, ev := range events {
-		if int(ev.Proc) >= 0 && int(ev.Proc) < n && ev.Index == next[ev.Proc] {
-			next[ev.Proc]++
-		}
-		t.eventAt[eventKey{ev.Proc, ev.Index}] = i
-	}
+	t.indexEvents()
 	if err := t.Validate(); err != nil {
 		return nil, err
 	}

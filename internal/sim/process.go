@@ -28,7 +28,8 @@ type Env struct {
 	stepIndex int
 	out       []pendingSend
 	note      any
-	connected func(from, to ProcessID) bool
+	topo      Topology
+	links     *Links // non-nil iff topo is a *Links; enables O(degree) fan-out
 }
 
 type pendingSend struct {
@@ -50,26 +51,56 @@ func (e *Env) StepIndex() int { return e.stepIndex }
 // Send emits a message to the given process as part of the current step.
 // Sending to a process not connected by the topology panics: in a
 // point-to-point network an algorithm can only use existing links, and
-// attempting otherwise is a programming error.
+// attempting otherwise is a programming error. Sending to oneself is
+// always permitted — self-delivery is a local operation, not a network
+// link (Algorithm 1 assumes it unconditionally).
 func (e *Env) Send(to ProcessID, payload any) {
 	if to < 0 || int(to) >= e.n {
 		panic(fmt.Sprintf("sim: send to invalid process %d", to))
 	}
-	if e.connected != nil && !e.connected(e.self, to) {
+	if to != e.self && e.topo != nil && !e.topo.Linked(e.self, to) {
 		panic(fmt.Sprintf("sim: no link %d -> %d in topology", e.self, to))
 	}
 	e.out = append(e.out, pendingSend{to: to, payload: payload})
 }
 
-// Broadcast sends payload to every process reachable in the topology,
-// including the sender itself (the paper assumes self-delivery for
-// simplicity of Algorithm 1).
+// Broadcast sends payload to every out-neighbor in the topology and to the
+// sender itself. Self-delivery is unconditional — the paper assumes it for
+// Algorithm 1, and a topology describes network links, which a process does
+// not need to reach itself — so a predicate excluding from == to cannot
+// suppress it.
+//
+// All three paths emit sends in ascending recipient order (with self woven
+// into its sorted position), so the same topology expressed as a predicate
+// or as a *Links produces the identical trace; the *Links path just does it
+// in O(out-degree) instead of O(N).
 func (e *Env) Broadcast(payload any) {
-	for to := ProcessID(0); int(to) < e.n; to++ {
-		if e.connected != nil && !e.connected(e.self, to) {
-			continue
+	switch {
+	case e.links != nil:
+		selfDone := false
+		for _, to := range e.links.Out(e.self) {
+			if !selfDone && to >= e.self {
+				selfDone = true
+				if to != e.self {
+					e.out = append(e.out, pendingSend{to: e.self, payload: payload})
+				}
+			}
+			e.out = append(e.out, pendingSend{to: to, payload: payload})
 		}
-		e.out = append(e.out, pendingSend{to: to, payload: payload})
+		if !selfDone {
+			e.out = append(e.out, pendingSend{to: e.self, payload: payload})
+		}
+	case e.topo != nil:
+		for to := ProcessID(0); int(to) < e.n; to++ {
+			if to != e.self && !e.topo.Linked(e.self, to) {
+				continue
+			}
+			e.out = append(e.out, pendingSend{to: to, payload: payload})
+		}
+	default:
+		for to := ProcessID(0); int(to) < e.n; to++ {
+			e.out = append(e.out, pendingSend{to: to, payload: payload})
+		}
 	}
 }
 

@@ -1,31 +1,75 @@
 package sim
 
-import "container/heap"
+import (
+	"container/heap"
+	"math"
+	"sort"
+)
 
-// delivery is a scheduled message reception.
+// delivery is a scheduled message reception. key is the float64 image of
+// at under rat.Float64 (clamped to ±MaxFloat64): the conversion is
+// correctly rounded and therefore monotone — a < b implies key(a) <=
+// key(b), and equal times have equal keys — so float comparisons and
+// bucket assignments can never contradict the exact order, they can only
+// fail to distinguish values the exact (at, seq) comparison then settles.
 type delivery struct {
 	at  Time
+	key float64
 	seq int64 // insertion order; total tie-break for determinism
 	msg MsgID
 }
 
-// deliveryQueue is a min-heap ordered by (at, seq).
-type deliveryQueue []delivery
-
-func (q deliveryQueue) Len() int { return len(q) }
-
-func (q deliveryQueue) Less(i, j int) bool {
-	if c := q[i].at.Cmp(q[j].at); c != 0 {
+// before is the exact total delivery order (at, seq).
+func (d delivery) before(o delivery) bool {
+	if c := d.at.Cmp(o.at); c != 0 {
 		return c < 0
 	}
-	return q[i].seq < q[j].seq
+	return d.seq < o.seq
 }
 
-func (q deliveryQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+// deliveryKey clamps the monotone float64 image of t into the finite
+// range so bucket arithmetic stays NaN-free.
+func deliveryKey(t Time) float64 {
+	f := t.Float64()
+	if f > math.MaxFloat64 {
+		return math.MaxFloat64
+	}
+	if f < -math.MaxFloat64 {
+		return -math.MaxFloat64
+	}
+	return f
+}
 
-func (q *deliveryQueue) Push(x any) { *q = append(*q, x.(delivery)) }
+// eventQueue is the delivery scheduler: push in any order, pop in the
+// exact (at, seq) order. Both implementations — heapQueue and bucketQueue
+// — realize the identical total order, so which one a run uses never
+// changes its trace (pinned by TestQueueImplementationsAgree and the
+// golden determinism grid).
+type eventQueue interface {
+	push(d delivery)
+	pop() delivery
+	len() int
+}
 
-func (q *deliveryQueue) Pop() any {
+// heapQueue is a min-heap ordered by (key, at, seq): the cached float key
+// decides almost every comparison in one branch, falling back to the exact
+// rational comparison only on float ties.
+type heapQueue []delivery
+
+func (q heapQueue) Len() int { return len(q) }
+
+func (q heapQueue) Less(i, j int) bool {
+	if q[i].key != q[j].key {
+		return q[i].key < q[j].key
+	}
+	return q[i].before(q[j])
+}
+
+func (q heapQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+
+func (q *heapQueue) Push(x any) { *q = append(*q, x.(delivery)) }
+
+func (q *heapQueue) Pop() any {
 	old := *q
 	n := len(old)
 	d := old[n-1]
@@ -33,6 +77,157 @@ func (q *deliveryQueue) Pop() any {
 	return d
 }
 
-func (q *deliveryQueue) push(d delivery) { heap.Push(q, d) }
+func (q *heapQueue) push(d delivery) { heap.Push(q, d) }
 
-func (q *deliveryQueue) pop() delivery { return heap.Pop(q).(delivery) }
+func (q *heapQueue) pop() delivery { return heap.Pop(q).(delivery) }
+
+func (q *heapQueue) len() int { return len(*q) }
+
+// bucketQueueBuckets is the window size of the calendar. 1024 buckets keep
+// the per-window rebuild cost trivial while making the expected bucket
+// population a handful of deliveries at N ≈ 10^5.
+const bucketQueueBuckets = 1024
+
+// bucketQueue is a calendar ("event wheel") queue: deliveries are binned
+// by their float key into a window of equal-width buckets; the bucket
+// being drained is sorted once by the exact (at, seq) order, later
+// arrivals merge into the sorted run by binary insertion, and deliveries
+// beyond the window wait in an overflow heap that re-seeds the window when
+// it empties. At sparse scale the heap's O(log n) rational-flavored sift
+// per operation becomes the engine bottleneck; the calendar amortizes to
+// O(1) routing per push and a small exact sort per bucket.
+//
+// Exactness: bucket routing is a monotone function of the (monotone) float
+// key, so an earlier bucket never holds a delivery that must pop after one
+// in a later bucket; everything sharing a bucket is ordered by the exact
+// comparison. Pushes during a drain always belong at or after the current
+// position because the engine only schedules at or after the time it is
+// currently delivering.
+type bucketQueue struct {
+	buckets [][]delivery
+	over    heapQueue // beyond the window (or before it is primed)
+	overMax float64   // max key ever pushed to over since last rebuild
+
+	base   float64 // window start key
+	width  float64 // bucket width, > 0 and finite
+	bkt    int     // next bucket ordinal to drain
+	cur    []delivery
+	curIdx int
+
+	size   int
+	primed bool
+}
+
+func newBucketQueue() *bucketQueue {
+	return &bucketQueue{buckets: make([][]delivery, bucketQueueBuckets)}
+}
+
+// reset clears the queue for reuse, retaining bucket storage.
+func (q *bucketQueue) reset() {
+	for i := range q.buckets {
+		q.buckets[i] = q.buckets[i][:0]
+	}
+	q.over = q.over[:0]
+	q.overMax = math.Inf(-1)
+	q.cur = q.cur[:0]
+	q.curIdx = 0
+	q.bkt = 0
+	q.size = 0
+	q.primed = false
+}
+
+func (q *bucketQueue) len() int { return q.size }
+
+func (q *bucketQueue) pushOver(d delivery) {
+	if d.key > q.overMax {
+		q.overMax = d.key
+	}
+	q.over.push(d)
+}
+
+func (q *bucketQueue) push(d delivery) {
+	q.size++
+	if !q.primed {
+		q.pushOver(d)
+		return
+	}
+	o := (d.key - q.base) / q.width
+	switch {
+	case o < float64(q.bkt):
+		// Belongs to already-drained territory: merge into the exact run.
+		q.insertCur(d)
+	case o < bucketQueueBuckets:
+		i := int(o)
+		q.buckets[i] = append(q.buckets[i], d)
+	default:
+		q.pushOver(d)
+	}
+}
+
+// insertCur splices d into the sorted current run at its exact position.
+// The insertion point is always at or after curIdx: everything already
+// popped is (at, seq)-before any new delivery, because sends never
+// schedule earlier than the reception being processed and seq grows
+// monotonically.
+func (q *bucketQueue) insertCur(d delivery) {
+	i := q.curIdx + sort.Search(len(q.cur)-q.curIdx, func(i int) bool {
+		return d.before(q.cur[q.curIdx+i])
+	})
+	q.cur = append(q.cur, delivery{})
+	copy(q.cur[i+1:], q.cur[i:])
+	q.cur[i] = d
+}
+
+func (q *bucketQueue) pop() delivery {
+	for q.curIdx >= len(q.cur) {
+		q.advance()
+	}
+	d := q.cur[q.curIdx]
+	q.curIdx++
+	q.size--
+	return d
+}
+
+// advance moves the drain position to the next non-empty bucket, sorting
+// it into the current run; when the window is exhausted it re-seeds
+// base/width from the overflow heap. Callers guarantee size > 0.
+func (q *bucketQueue) advance() {
+	q.cur = q.cur[:0]
+	q.curIdx = 0
+	for q.bkt < bucketQueueBuckets {
+		b := q.bkt
+		q.bkt++
+		if len(q.buckets[b]) > 0 {
+			q.cur = append(q.cur, q.buckets[b]...)
+			q.buckets[b] = q.buckets[b][:0]
+			sort.Slice(q.cur, func(i, j int) bool { return q.cur[i].before(q.cur[j]) })
+			return
+		}
+	}
+	q.rebuild()
+}
+
+// rebuild starts a fresh window at the overflow minimum. The width spreads
+// the overflow's key span across the buckets; degenerate spans (all keys
+// equal, or spans that overflow float64) fall back to width 1, which
+// degrades to sorted-run behavior but stays exact.
+func (q *bucketQueue) rebuild() {
+	q.primed = true
+	q.base = q.over[0].key
+	q.width = (q.overMax - q.base) / (bucketQueueBuckets - 1)
+	if !(q.width > 0) || math.IsInf(q.width, 0) {
+		q.width = 1
+	}
+	for len(q.over) > 0 {
+		o := (q.over[0].key - q.base) / q.width
+		if !(o < bucketQueueBuckets) {
+			break
+		}
+		d := q.over.pop()
+		q.buckets[int(o)] = append(q.buckets[int(o)], d)
+	}
+	if len(q.over) == 0 {
+		q.overMax = math.Inf(-1)
+	}
+	q.bkt = 0
+}

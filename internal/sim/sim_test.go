@@ -303,7 +303,11 @@ func TestUntilPredicate(t *testing.T) {
 }
 
 func TestTopologyRestriction(t *testing.T) {
-	// Ring topology 0->1->2->0; broadcast reaches only the next process.
+	// Ring topology 0->1->2->0 via a predicate that excludes from == to.
+	// Broadcast reaches the next process in the ring plus — regardless of
+	// the predicate — the sender itself: self-delivery is unconditional
+	// (Algorithm 1's assumption), so each process receives exactly two
+	// copies, one from itself and one from its predecessor.
 	recv := make([]int, 3)
 	cfg := Config{
 		N: 3,
@@ -317,14 +321,14 @@ func TestTopologyRestriction(t *testing.T) {
 				}
 			})
 		},
-		Topology: func(from, to ProcessID) bool { return (int(from)+1)%3 == int(to) },
+		Topology: TopologyFunc(func(from, to ProcessID) bool { return (int(from)+1)%3 == int(to) }),
 		Delays:   ConstantDelay{D: rat.One},
 	}
 	if _, err := Run(cfg); err != nil {
 		t.Fatal(err)
 	}
-	if !reflect.DeepEqual(recv, []int{1, 1, 1}) {
-		t.Errorf("receive counts %v, want [1 1 1]", recv)
+	if !reflect.DeepEqual(recv, []int{2, 2, 2}) {
+		t.Errorf("receive counts %v, want [2 2 2]", recv)
 	}
 }
 
@@ -338,7 +342,7 @@ func TestSendOutsideTopologyPanics(t *testing.T) {
 				}
 			})
 		},
-		Topology: func(from, to ProcessID) bool { return false },
+		Topology: TopologyFunc(func(from, to ProcessID) bool { return false }),
 		Delays:   ConstantDelay{D: rat.One},
 	}
 	defer func() {

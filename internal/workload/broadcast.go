@@ -28,19 +28,24 @@ func init() {
 	Register(Source{
 		Name: "broadcast",
 		Doc:  "all-to-all broadcast under uniform delays (no algorithm claims)",
-		Params: []Param{
+		Params: append([]Param{
 			{Name: "n", Kind: Int, Default: "4", Doc: "number of processes"},
 			{Name: "target", Kind: Int, Default: "10", Doc: "broadcasting steps per process"},
 			{Name: "xi", Kind: Rational, Default: "2", Doc: "model parameter Ξ for admissibility checks"},
 			{Name: "min", Kind: Rational, Default: "1", Doc: "minimum message delay"},
 			{Name: "max", Kind: Rational, Default: "3/2", Doc: "maximum message delay"},
 			{Name: "maxevents", Kind: Int, Default: "0", Doc: "receive-event budget (0 = simulator default)"},
-		},
+		}, TopologyParams()...),
 		Job: func(v Values, seed int64) (runner.Job, error) {
+			topo, err := ResolveTopology(v, v.Int("n"))
+			if err != nil {
+				return runner.Job{}, err
+			}
 			cfg := sim.Config{
 				N:         v.Int("n"),
 				Spawn:     BroadcastSpawner(v.Int("target")),
 				Delays:    sim.UniformDelay{Min: v.Rat("min"), Max: v.Rat("max")},
+				Topology:  topo,
 				Seed:      seed,
 				MaxEvents: v.Int("maxevents"),
 			}
