@@ -15,7 +15,7 @@ BENCH_JSON = $(BENCH_SMOKE)|BenchmarkSimulator|BenchmarkGraphBuild
 # the trajectory can be diffed.
 BENCH_OUT ?= BENCH_pr6.json
 
-.PHONY: all build vet test race bench-smoke bench-json fuzz-smoke fleet-ci fleet-bench incremental-ci workloads-ci topology-ci cover ci
+.PHONY: all build vet test race bench-smoke bench-json fuzz-smoke fleet-ci fleet-bench incremental-ci workloads-ci topology-ci protocols-ci cover ci
 
 all: build
 
@@ -96,7 +96,18 @@ topology-ci:
 	$(GO) test -race -shuffle=on -run 'Topo|Sparse|Queue|Broadcast|Island|Script|PointKey|Ring|Torus|Regular|ScaleFree|Links' ./internal/sim ./internal/runner ./internal/workload/...
 	$(GO) test -run=NONE -bench='BenchmarkSimulator/topo=ring/^n=10000$$' -benchmem -benchtime=10x .
 
+# protocols-ci mirrors the CI "protocols" job: the consensus and Ω
+# domain suites and the protocol/fault-axis conformance cases (fault
+# grids, failing-verdict CheckErr determinism) under the race detector
+# with shuffled order, plus two CLI smokes driving the headline grids end
+# to end — a crash-at-step sweep and a Byzantine-budget grid.
+protocols-ci:
+	$(GO) test -race -shuffle=on ./internal/consensus ./internal/detector
+	$(GO) test -race -shuffle=on -run 'Protocol|Conformance|Fault' ./internal/workload/...
+	$(GO) run ./cmd/abcsim -workload consensus -param algo=floodset -sweep faults=none,crash/1@0,crash/1@2 -runs 2
+	$(GO) run ./cmd/abcsim -workload clocksync -sweep faults=byz/1@20,byz/1@60 -runs 2
+
 cover:
 	$(GO) test -cover ./internal/runner ./internal/sim
 
-ci: vet race bench-smoke fleet-ci incremental-ci workloads-ci topology-ci
+ci: vet race bench-smoke fleet-ci incremental-ci workloads-ci topology-ci protocols-ci

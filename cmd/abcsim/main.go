@@ -1,8 +1,9 @@
 // Command abcsim runs ABC-model workloads from the unified registry
 // (internal/workload) and inspects their execution graphs. Any registered
-// workload — clock synchronization, lock-step rounds, VLSI clock
-// generation, Θ-Model and ParSync embeddings, the Section 6 variants, the
-// paper's figure traces, plain broadcast — is selected with -workload,
+// workload — clock synchronization, lock-step rounds, synchronous
+// consensus, the Ω failure detector, VLSI clock generation, Θ-Model and
+// ParSync embeddings, the Section 6 variants, the paper's figure traces,
+// plain broadcast — is selected with -workload,
 // parameterized with -param name=value (or the legacy shorthand flags),
 // swept over whole parameter axes with -sweep name=v1,v2,..., and checked
 // for ABC admissibility, exact critical ratio, and its domain-level
@@ -38,6 +39,19 @@
 //
 //	abcsim -workload broadcast -param n=10000 -param topology=torus
 //	abcsim -workload vlsi -param n=9 -param maxevents=3000 -sweep topology=full,torus,regular/4 -runs 5
+//
+// Simulation workloads also declare a fault axis (workload.FaultParams):
+// a spec of '+'-joined clauses — crash/K[@S] (K processes crash after S
+// steps), byz/K[@B] (K live Byzantine adversaries with step budget B,
+// where the workload declares an adversary family), script/K[@T] (K
+// scripted-noise processes) — claiming process IDs n-1 downward. Specs
+// sweep like any parameter, giving crash-at-step and Byzantine-budget
+// grids:
+//
+//	abcsim -workload consensus -param algo=floodset -sweep faults=none,crash/1@0,crash/1@2 -runs 3
+//	abcsim -workload consensus -param n=5 -sweep algo=eig,phaseking -param faults=byz/1
+//	abcsim -workload omega -param topology=ring -param faults=crash/1@0
+//	abcsim -workload clocksync -sweep faults=byz/1@20,byz/1@60 -runs 5
 package main
 
 import (

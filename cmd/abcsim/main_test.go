@@ -142,7 +142,7 @@ func TestRunRejectsBadUsage(t *testing.T) {
 		{"-sweep", "ghost=1,2"},
 		{"-sweep", "xi"},
 		{"-sweep", "xi=2,3", "-sweep", "xi=5/4"}, // duplicate axis
-		{"-workload", "scenario", "-n", "4"}, // scenario declares no n
+		{"-workload", "scenario", "-n", "4"},     // scenario declares no n
 		{"-workload", "scenario", "-param", "fig=fig77"},
 	}
 	for _, args := range cases {

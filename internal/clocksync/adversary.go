@@ -107,6 +107,23 @@ func (m *MalformedSender) Step(env *sim.Env, msg sim.Message) {
 	env.Broadcast("junk")
 }
 
+// Adversary returns the i-th member of the deterministic Byzantine
+// assortment, cycling through the adversary kinds. It is the per-slot
+// form of Adversaries, used as the workload.ByzFactory behind the shared
+// fault axis (`faults=byz/K`).
+func Adversary(i int, seed uint64, budget int) sim.Process {
+	switch i % 4 {
+	case 0:
+		return &Equivocator{Seed: seed + uint64(i), Budget: budget}
+	case 1:
+		return &Rusher{Ahead: 5, Budget: budget}
+	case 2:
+		return &Laggard{Budget: budget}
+	default:
+		return &MalformedSender{Budget: budget}
+	}
+}
+
 // Adversaries returns a deterministic assortment of Byzantine behaviors
 // for f faulty processes (IDs n-f .. n-1), cycling through the adversary
 // kinds. Used by experiments and benchmarks.
@@ -114,19 +131,7 @@ func Adversaries(n, f int, seed uint64) map[sim.ProcessID]sim.Fault {
 	faults := make(map[sim.ProcessID]sim.Fault, f)
 	const budget = 60
 	for i := 0; i < f; i++ {
-		id := sim.ProcessID(n - 1 - i)
-		var proc sim.Process
-		switch i % 4 {
-		case 0:
-			proc = &Equivocator{Seed: seed + uint64(i), Budget: budget}
-		case 1:
-			proc = &Rusher{Ahead: 5, Budget: budget}
-		case 2:
-			proc = &Laggard{Budget: budget}
-		default:
-			proc = &MalformedSender{Budget: budget}
-		}
-		faults[id] = sim.ByzantineFault(proc)
+		faults[sim.ProcessID(n-1-i)] = sim.ByzantineFault(Adversary(i, seed, budget))
 	}
 	return faults
 }

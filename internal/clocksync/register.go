@@ -19,7 +19,7 @@ func init() {
 	workload.Register(workload.Source{
 		Name: "clocksync",
 		Doc:  "Byzantine clock synchronization (Algorithm 1) with Section 3 theorem monitors",
-		Params: []workload.Param{
+		Params: append([]workload.Param{
 			{Name: "n", Kind: workload.Int, Default: "4", Doc: "number of processes (n >= 3f+1)"},
 			{Name: "f", Kind: workload.Int, Default: "1", Doc: "Byzantine fault bound"},
 			{Name: "xi", Kind: workload.Rational, Default: "2", Doc: "model parameter Ξ"},
@@ -29,10 +29,23 @@ func init() {
 			{Name: "adversaries", Kind: workload.Bool, Default: "false", Doc: "run f live Byzantine adversaries (off: the f slots stay silent but count)"},
 			{Name: "advseed", Kind: workload.Int64, Default: "-1", Doc: "adversary seed; -1 derives it from the job seed"},
 			{Name: "maxevents", Kind: workload.Int, Default: "200000", Doc: "receive-event budget"},
-		},
+		}, workload.FaultParams()...),
 		Job:     clockSyncJob,
 		Verdict: clockSyncVerdict,
 	})
+}
+
+// clockSyncByz is the ByzFactory behind the shared fault axis: the
+// deterministic adversary assortment, seeded by faultseed (the job seed
+// when negative, matching advseed's convention).
+func clockSyncByz(v workload.Values, seed int64) workload.ByzFactory {
+	fseed := v.Int64("faultseed")
+	if fseed < 0 {
+		fseed = seed
+	}
+	return func(i int, id sim.ProcessID, budget int) sim.Process {
+		return Adversary(i, uint64(fseed), budget)
+	}
 }
 
 func clockSyncJob(v workload.Values, seed int64) (runner.Job, error) {
@@ -40,13 +53,20 @@ func clockSyncJob(v workload.Values, seed int64) (runner.Job, error) {
 	if f < 0 || n < 3*f+1 {
 		return runner.Job{}, fmt.Errorf("clocksync: need n >= 3f+1, got n=%d f=%d", n, f)
 	}
-	var faults map[sim.ProcessID]sim.Fault
-	if v.Bool("adversaries") {
-		advseed := v.Int64("advseed")
-		if advseed < 0 {
-			advseed = seed
-		}
-		faults = Adversaries(n, f, uint64(advseed))
+	faults, err := workload.SharedOrLegacyFaults(v, n, nil,
+		clockSyncByz(v, seed), v.Bool("adversaries"), "adversaries=true",
+		func() map[sim.ProcessID]sim.Fault {
+			advseed := v.Int64("advseed")
+			if advseed < 0 {
+				advseed = seed
+			}
+			return Adversaries(n, f, uint64(advseed))
+		})
+	if err != nil {
+		return runner.Job{}, err
+	}
+	if len(faults) > f {
+		return runner.Job{}, fmt.Errorf("clocksync: fault spec %q injects %d faults, bound is f=%d", v.String("faults"), len(faults), f)
 	}
 	cfg := sim.Config{
 		N:         n,

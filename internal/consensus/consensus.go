@@ -44,8 +44,17 @@ type Spec struct {
 // Check verifies termination (all correct decided), agreement (equal
 // decisions), and validity (if all correct inputs are equal, that value is
 // decided). apps is indexed by process ID; faulty entries are ignored.
+//
+// Check is deterministic down to its error strings: processes are
+// examined in ascending ID order, the agreement baseline is the decision
+// of the lowest-ID correct process, and a violation names the lowest
+// disagreeing pair. Identical inputs therefore produce byte-identical
+// errors, which the registry conformance suite relies on when it pins
+// fleet==serial JobResult.CheckErr text across worker counts.
 func (s Spec) Check(apps []Decider) error {
-	decided := make(map[sim.ProcessID]int)
+	// The agreement baseline: decision of the lowest-ID correct process.
+	firstID := sim.ProcessID(-1)
+	var first int
 	for id, app := range apps {
 		p := sim.ProcessID(id)
 		if _, bad := s.Faults[p]; bad {
@@ -54,27 +63,29 @@ func (s Spec) Check(apps []Decider) error {
 		if app == nil || !app.Decided() {
 			return fmt.Errorf("consensus: correct process %d did not decide", id)
 		}
-		decided[p] = app.Decision()
-	}
-	if len(decided) == 0 {
-		return fmt.Errorf("consensus: no correct processes")
-	}
-	var first int
-	var firstSet bool
-	for p, d := range decided {
-		if !firstSet {
-			first, firstSet = d, true
+		if firstID < 0 {
+			firstID, first = p, app.Decision()
 			continue
 		}
-		if d != first {
-			return fmt.Errorf("consensus: agreement violated: p%d decided %d, others %d", p, d, first)
+		if d := app.Decision(); d != first {
+			return fmt.Errorf("consensus: agreement violated: p%d decided %d, p%d decided %d",
+				firstID, first, p, d)
 		}
 	}
-	// Validity: unanimous correct inputs force the decision.
+	if firstID < 0 {
+		return fmt.Errorf("consensus: no correct processes")
+	}
+	// Validity: unanimous correct inputs force the decision. The witness
+	// value is anchored at the lowest-ID correct entry so the error text
+	// does not depend on map iteration order.
 	unanimous := true
 	var v int
 	vSet := false
-	for p, in := range s.Initial {
+	for p := sim.ProcessID(0); int(p) < len(apps); p++ {
+		in, ok := s.Initial[p]
+		if !ok {
+			continue
+		}
 		if _, bad := s.Faults[p]; bad {
 			continue
 		}

@@ -243,3 +243,114 @@ type fakeDecider struct {
 
 func (f *fakeDecider) Decided() bool { return f.d }
 func (f *fakeDecider) Decision() int { return f.v }
+
+func TestSpecCheckEdgeCases(t *testing.T) {
+	mk := func(decided bool, v int) Decider { return &fakeDecider{decided, v} }
+	byz := map[sim.ProcessID]sim.Fault{0: sim.Silent(), 1: sim.Silent()}
+
+	t.Run("zero correct", func(t *testing.T) {
+		s := Spec{Initial: map[sim.ProcessID]int{0: 1, 1: 0}, Faults: byz}
+		err := s.Check([]Decider{nil, nil})
+		if err == nil || err.Error() != "consensus: no correct processes" {
+			t.Errorf("got %v, want the no-correct-processes error", err)
+		}
+	})
+	t.Run("single correct decides", func(t *testing.T) {
+		s := Spec{Initial: map[sim.ProcessID]int{0: 1, 1: 0, 2: 7}, Faults: byz}
+		if err := s.Check([]Decider{nil, nil, mk(true, 7)}); err != nil {
+			t.Errorf("single deciding correct process rejected: %v", err)
+		}
+		if err := s.Check([]Decider{nil, nil, mk(false, 0)}); err == nil {
+			t.Error("single non-deciding correct process accepted")
+		}
+	})
+	t.Run("byzantine entries in Initial ignored", func(t *testing.T) {
+		// Faulty inputs are present in Initial (the registry reconstructs
+		// inputs for every ID) but must not weaken unanimity: the correct
+		// processes are unanimous on 1, so deciding 0 is a violation even
+		// though the Byzantine entries held 0.
+		s := Spec{
+			Initial: map[sim.ProcessID]int{0: 0, 1: 0, 2: 1, 3: 1},
+			Faults:  byz,
+		}
+		if err := s.Check([]Decider{nil, nil, mk(true, 0), mk(true, 0)}); err == nil {
+			t.Error("validity violation masked by Byzantine inputs")
+		}
+		if err := s.Check([]Decider{nil, nil, mk(true, 1), mk(true, 1)}); err != nil {
+			t.Errorf("valid outcome rejected: %v", err)
+		}
+	})
+	t.Run("agreement names lowest pair", func(t *testing.T) {
+		s := Spec{Initial: map[sim.ProcessID]int{0: 5, 1: 5, 2: 5}}
+		err := s.Check([]Decider{mk(true, 5), mk(true, 5), mk(true, 4)})
+		want := "consensus: agreement violated: p0 decided 5, p2 decided 4"
+		if err == nil || err.Error() != want {
+			t.Errorf("got %v, want %q", err, want)
+		}
+	})
+}
+
+// TestSpecCheckDeterministicErrors pins the satellite-1 fix: Check
+// examines processes in ascending ID order and names the lowest
+// disagreeing pair, so identical inputs give byte-identical error
+// strings on every call — the property the registry conformance suite
+// relies on when comparing fleet CheckErr text across worker counts.
+func TestSpecCheckDeterministicErrors(t *testing.T) {
+	mk := func(v int) Decider { return &fakeDecider{true, v} }
+	s := Spec{Initial: map[sim.ProcessID]int{0: 1, 1: 1, 2: 1, 3: 1, 4: 1}}
+	apps := []Decider{mk(1), mk(0), mk(1), mk(0), mk(2)}
+	want := "consensus: agreement violated: p0 decided 1, p1 decided 0"
+	for i := 0; i < 100; i++ {
+		err := s.Check(apps)
+		if err == nil || err.Error() != want {
+			t.Fatalf("call %d: got %v, want %q", i, err, want)
+		}
+	}
+	// Validity error is equally pinned.
+	sv := Spec{Initial: map[sim.ProcessID]int{0: 3, 1: 3}}
+	wantV := "consensus: validity violated: unanimous input 3 but decided 0"
+	for i := 0; i < 100; i++ {
+		err := sv.Check([]Decider{mk(0), mk(0)})
+		if err == nil || err.Error() != wantV {
+			t.Fatalf("call %d: got %v, want %q", i, err, wantV)
+		}
+	}
+}
+
+// TestAdversaryDeterministicPerSeed pins that the Byzantine consensus
+// adversaries produce bit-identical executions per seed: TwoFaced with
+// both split payloads, across each supported algorithm.
+func TestAdversaryDeterministicPerSeed(t *testing.T) {
+	m := core.MustModel(rat.FromInt(2))
+	run := func(seed int64, algo string) uint64 {
+		n, f := 5, 1
+		inputs := []int{1, 0, 1, 0, 1}
+		var byz sim.Process
+		var mkApp func(p sim.ProcessID) lockstep.App
+		rounds := 0
+		switch algo {
+		case "eig":
+			byz = NewTwoFaced(m, n, f, SplitEIG(n, 4, 0, 1))
+			mkApp = func(p sim.ProcessID) lockstep.App { return NewEIG(n, f, inputs[p]) }
+			rounds = EIGRounds(f)
+		case "phaseking":
+			byz = NewTwoFaced(m, n, f, SplitVotes(0, 1))
+			mkApp = func(p sim.ProcessID) lockstep.App { return NewPhaseKing(n, f, inputs[p]) }
+			rounds = PhaseKingRounds(f)
+		}
+		faults := map[sim.ProcessID]sim.Fault{4: sim.ByzantineFault(byz)}
+		_, trace := runConsensus(t, n, f, rounds, inputs, mkApp, faults, seed)
+		return trace.Hash()
+	}
+	for _, algo := range []string{"eig", "phaseking"} {
+		for seed := int64(1); seed <= 3; seed++ {
+			a, b := run(seed, algo), run(seed, algo)
+			if a != b {
+				t.Errorf("%s seed %d: trace hashes differ (%016x vs %016x)", algo, seed, a, b)
+			}
+		}
+		if run(1, algo) == run(2, algo) {
+			t.Errorf("%s: seeds 1 and 2 produced identical traces — seed not applied", algo)
+		}
+	}
+}

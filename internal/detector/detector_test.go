@@ -186,6 +186,124 @@ func TestOmegaElectsCorrectLeader(t *testing.T) {
 	}
 }
 
+// omegaRingConfig builds Ω on a ring fabric: the core runs on the
+// CoreTopology overlay (pairwise Query/Ping needs direct links), and
+// every process relays announcements so they flood hop by hop — the
+// satellite-2 scenario where a plain broadcast would reach only the
+// core's immediate ring neighbors.
+func omegaRingConfig(n int, core []sim.ProcessID, faults map[sim.ProcessID]sim.Fault, seed int64) sim.Config {
+	xi := rat.FromInt(2)
+	topo := CoreTopology(sim.Ring(n), core)
+	return sim.Config{
+		N: n,
+		Spawn: func(p sim.ProcessID) sim.Process {
+			if int(p) < len(core) {
+				return &OmegaCore{Core: core, ChainLen: ChainLen(xi), MaxPhase: 6, Relay: true}
+			}
+			return &OmegaFollower{Relay: true}
+		},
+		Faults:    faults,
+		Topology:  topo,
+		Delays:    sim.UniformDelay{Min: rat.One, Max: rat.New(3, 2)},
+		Seed:      seed,
+		MaxEvents: 200000,
+	}
+}
+
+// TestOmegaRingDissemination pins leader dissemination beyond one hop:
+// on an 8-ring with core {0,1,2} and core member 0 silent, every correct
+// core member elects 1 and every follower — including 4, 5, 6, three to
+// four hops from any core member — hears and adopts leader 1.
+func TestOmegaRingDissemination(t *testing.T) {
+	core := []sim.ProcessID{0, 1, 2}
+	res, err := sim.Run(omegaRingConfig(8, core,
+		map[sim.ProcessID]sim.Fault{0: sim.Silent()}, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Truncated {
+		t.Fatal("ring run truncated — relaying did not terminate")
+	}
+	for _, p := range []sim.ProcessID{1, 2} {
+		oc := res.Procs[p].(*OmegaCore)
+		if !oc.Suspects(0) {
+			t.Errorf("core member %d does not suspect silent 0", p)
+		}
+		if oc.Leader() != 1 {
+			t.Errorf("core member %d elected %d, want 1", p, oc.Leader())
+		}
+	}
+	for p := sim.ProcessID(3); p < 8; p++ {
+		f := res.Procs[p].(*OmegaFollower)
+		leader, heard := f.Leader()
+		if !heard {
+			t.Errorf("follower %d heard no announcement through the ring", p)
+		} else if leader != 1 {
+			t.Errorf("follower %d adopted leader %d, want 1", p, leader)
+		}
+	}
+}
+
+// TestOmegaRingWithoutRelayStrands shows why satellite 2 matters: the
+// same ring without relaying leaves far followers deaf — the core's
+// broadcasts stop at its ring neighbors.
+func TestOmegaRingWithoutRelayStrands(t *testing.T) {
+	xi := rat.FromInt(2)
+	core := []sim.ProcessID{0, 1, 2}
+	n := 8
+	res, err := sim.Run(sim.Config{
+		N: n,
+		Spawn: func(p sim.ProcessID) sim.Process {
+			if int(p) < len(core) {
+				return &OmegaCore{Core: core, ChainLen: ChainLen(xi), MaxPhase: 6}
+			}
+			return &OmegaFollower{}
+		},
+		Topology:  CoreTopology(sim.Ring(n), core),
+		Delays:    sim.UniformDelay{Min: rat.One, Max: rat.New(3, 2)},
+		Seed:      9,
+		MaxEvents: 200000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deaf := 0
+	for p := sim.ProcessID(3); int(p) < n; p++ {
+		if _, heard := res.Procs[p].(*OmegaFollower).Leader(); !heard {
+			deaf++
+		}
+	}
+	if deaf == 0 {
+		t.Fatal("every follower heard without relaying — the regression scenario no longer reproduces")
+	}
+}
+
+func TestCoreTopology(t *testing.T) {
+	core := []sim.ProcessID{0, 1, 2}
+	if CoreTopology(nil, core) != nil {
+		t.Error("nil (fully connected) base must stay nil")
+	}
+	topo := CoreTopology(sim.Ring(6), core)
+	// Core pairs are always linked, even non-adjacent ones.
+	if !topo.Linked(0, 2) {
+		t.Error("core pair 0-2 not linked by the overlay")
+	}
+	// Non-core pairs follow the base ring.
+	if !topo.Linked(3, 4) {
+		t.Error("ring edge 3-4 lost")
+	}
+	if topo.Linked(3, 5) {
+		t.Error("chord 3-5 invented outside the core")
+	}
+	// Core-to-follower links also follow the base.
+	if !topo.Linked(2, 3) {
+		t.Error("ring edge 2-3 lost")
+	}
+	if topo.Linked(0, 4) {
+		t.Error("core member 0 linked to distant follower 4")
+	}
+}
+
 func TestOmegaFaultFree(t *testing.T) {
 	xi := rat.FromInt(2)
 	core := []sim.ProcessID{0, 1, 2}

@@ -4,8 +4,15 @@ import (
 	"repro/internal/sim"
 )
 
-// LeaderMsg disseminates a core member's current leader choice.
-type LeaderMsg struct{ Leader sim.ProcessID }
+// LeaderMsg disseminates a core member's current leader choice. Phase is
+// the electing member's phase number at the time of the announcement; it
+// orders announcements (followers adopt the highest-phase choice they
+// hear) and bounds relaying — a relaying process forwards each phase at
+// most once, so dissemination over sparse topologies terminates.
+type LeaderMsg struct {
+	Leader sim.ProcessID
+	Phase  int
+}
 
 // OmegaCore is a member of the f+2 core implementing the Ω sketch of
 // Section 6 for crash faults: in repeated phases it queries all other core
@@ -17,13 +24,27 @@ type LeaderMsg struct{ Leader sim.ProcessID }
 // Because crashes are permanent and the Fig. 3 accuracy argument applies
 // per phase, suspicion is perfect; once the last crash has happened, every
 // later phase elects the same correct leader at every correct core member.
+//
+// Core members communicate pairwise (Query/Ping go through Env.Send), so
+// the communication graph must link every pair of core members — on
+// sparse fabrics, place the core on a fully connected overlay (see
+// CoreTopology). Leader announcements, by contrast, travel by broadcast:
+// on a sparse topology a single broadcast only reaches out-neighbors, so
+// set Relay on every process (core and follower) to flood each phase's
+// announcement hop by hop across the network.
 type OmegaCore struct {
 	Core     []sim.ProcessID // the f+2 core members, including self
 	ChainLen int
 	MaxPhase int // stop starting new phases after this many (keeps runs finite)
+	// Relay, when set, re-broadcasts received leader announcements whose
+	// phase is newer than any this process has broadcast or relayed —
+	// required for dissemination beyond one hop on sparse topologies,
+	// redundant (and therefore off by default) on the fully connected one.
+	Relay bool
 
 	self      sim.ProcessID
 	phase     int
+	relayed   int                   // highest announcement phase broadcast or relayed, -1 initially
 	legs      map[sim.ProcessID]int // per-partner chain length this phase
 	replied   map[sim.ProcessID]bool
 	suspected map[sim.ProcessID]bool
@@ -49,6 +70,7 @@ func (o *OmegaCore) Step(env *sim.Env, msg sim.Message) {
 		o.self = env.Self()
 		o.suspected = make(map[sim.ProcessID]bool)
 		o.leader = o.self
+		o.relayed = -1
 		o.started = true
 		o.beginPhase(env)
 	case Query:
@@ -58,6 +80,11 @@ func (o *OmegaCore) Step(env *sim.Env, msg sim.Message) {
 	case Reply:
 		if pl.Phase == o.phase {
 			o.replied[msg.From] = true
+		}
+	case LeaderMsg:
+		if o.Relay && pl.Phase > o.relayed {
+			o.relayed = pl.Phase
+			env.Broadcast(pl)
 		}
 	case Pong:
 		if pl.Phase != o.phase {
@@ -101,17 +128,28 @@ func (o *OmegaCore) endPhase(env *sim.Env) {
 			o.leader = q
 		}
 	}
-	env.Broadcast(LeaderMsg{Leader: o.leader})
+	if o.phase > o.relayed {
+		o.relayed = o.phase
+	}
+	env.Broadcast(LeaderMsg{Leader: o.leader, Phase: o.phase})
 	o.phase++
 	if o.phase < o.MaxPhase {
 		o.beginPhase(env)
 	}
 }
 
-// OmegaFollower is a non-core process: it adopts the most recent leader
-// announcement it receives.
+// OmegaFollower is a non-core process: it adopts the highest-phase leader
+// announcement it receives (ties keep the first arrival, so adoption is
+// deterministic under the engine's delivery order).
 type OmegaFollower struct {
+	// Relay re-broadcasts each newly adopted announcement once, flooding
+	// it across sparse topologies where the core's own broadcast reaches
+	// only its out-neighbors. Followers beyond one hop from the core never
+	// hear a leader without it.
+	Relay bool
+
 	leader sim.ProcessID
+	phase  int
 	heard  bool
 }
 
@@ -122,8 +160,37 @@ func (o *OmegaFollower) Leader() (sim.ProcessID, bool) { return o.leader, o.hear
 
 // Step implements sim.Process.
 func (o *OmegaFollower) Step(env *sim.Env, msg sim.Message) {
-	if lm, ok := msg.Payload.(LeaderMsg); ok {
-		o.leader = lm.Leader
-		o.heard = true
+	lm, ok := msg.Payload.(LeaderMsg)
+	if !ok {
+		return
 	}
+	if !o.heard || lm.Phase > o.phase {
+		o.leader, o.phase, o.heard = lm.Leader, lm.Phase, true
+		if o.Relay {
+			env.Broadcast(lm)
+		}
+	}
+}
+
+// CoreTopology augments base with a fully connected overlay among the
+// core members: Ω's pairwise Query/Ping traffic requires direct links
+// between every two core members, which sparse fabrics do not provide.
+// The overlay models the standard deployment — a small designated
+// monitoring core on dedicated interconnect, with leader announcements
+// flooding the ordinary (sparse) network via Relay. A nil base (fully
+// connected) is returned unchanged.
+func CoreTopology(base sim.Topology, core []sim.ProcessID) sim.Topology {
+	if base == nil {
+		return nil
+	}
+	inCore := make(map[sim.ProcessID]bool, len(core))
+	for _, q := range core {
+		inCore[q] = true
+	}
+	return sim.TopologyFunc(func(from, to sim.ProcessID) bool {
+		if inCore[from] && inCore[to] {
+			return true
+		}
+		return base.Linked(from, to)
+	})
 }

@@ -31,7 +31,7 @@ func init() {
 	workload.Register(workload.Source{
 		Name: "lockstep",
 		Doc:  "lock-step round simulation (Algorithm 2) with the Theorem 5 verdict",
-		Params: []workload.Param{
+		Params: append([]workload.Param{
 			{Name: "n", Kind: workload.Int, Default: "4", Doc: "number of processes (n >= 3f+1)"},
 			{Name: "f", Kind: workload.Int, Default: "1", Doc: "Byzantine fault bound"},
 			{Name: "xi", Kind: workload.Rational, Default: "2", Doc: "model parameter Ξ (round = ⌈2Ξ⌉ phases)"},
@@ -41,7 +41,7 @@ func init() {
 			{Name: "adversaries", Kind: workload.Bool, Default: "false", Doc: "run f live Byzantine adversaries"},
 			{Name: "advseed", Kind: workload.Int64, Default: "-1", Doc: "adversary seed; -1 derives it from the job seed"},
 			{Name: "maxevents", Kind: workload.Int, Default: "300000", Doc: "receive-event budget"},
-		},
+		}, workload.FaultParams()...),
 		Job:     lockStepJob,
 		Verdict: lockStepVerdict,
 	})
@@ -56,13 +56,27 @@ func lockStepJob(v workload.Values, seed int64) (runner.Job, error) {
 	if f < 0 || n < 3*f+1 {
 		return runner.Job{}, fmt.Errorf("lockstep: need n >= 3f+1, got n=%d f=%d", n, f)
 	}
-	var faults map[sim.ProcessID]sim.Fault
-	if v.Bool("adversaries") {
-		advseed := v.Int64("advseed")
-		if advseed < 0 {
-			advseed = seed
-		}
-		faults = clocksync.Adversaries(n, f, uint64(advseed))
+	fseed := v.Int64("faultseed")
+	if fseed < 0 {
+		fseed = seed
+	}
+	faults, err := workload.SharedOrLegacyFaults(v, n, nil,
+		func(i int, id sim.ProcessID, budget int) sim.Process {
+			return clocksync.Adversary(i, uint64(fseed), budget)
+		},
+		v.Bool("adversaries"), "adversaries=true",
+		func() map[sim.ProcessID]sim.Fault {
+			advseed := v.Int64("advseed")
+			if advseed < 0 {
+				advseed = seed
+			}
+			return clocksync.Adversaries(n, f, uint64(advseed))
+		})
+	if err != nil {
+		return runner.Job{}, err
+	}
+	if len(faults) > f {
+		return runner.Job{}, fmt.Errorf("lockstep: fault spec %q injects %d faults, bound is f=%d", v.String("faults"), len(faults), f)
 	}
 	cfg := sim.Config{
 		N:         n,

@@ -87,6 +87,9 @@ func (e *Engine) Run(cfg Config) (*Result, error) {
 			if s.To < 0 || int(s.To) >= cfg.N {
 				return nil, fmt.Errorf("sim: scripted send from %d to invalid process %d", p, s.To)
 			}
+			if s.At.Sign() < 0 {
+				return nil, fmt.Errorf("sim: scripted send from %d at negative time %v", p, s.At)
+			}
 			if s.To != p && cfg.Topology != nil && !cfg.Topology.Linked(p, s.To) {
 				return nil, fmt.Errorf("sim: scripted send from %d to %d crosses a non-existent link", p, s.To)
 			}

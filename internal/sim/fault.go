@@ -4,6 +4,13 @@ package sim
 // Fault entry counts against the resilience bound f and is marked faulty in
 // the trace (its sent messages are dropped from the execution graph, per
 // Definition 1).
+//
+// Fault maps are validated at Run setup, before any step executes — a
+// malformed fault is a configuration error, never silent misbehavior.
+// Run rejects: fault-map keys outside [0, N); CrashAfter below NeverCrash
+// (-1 is the only negative value with a meaning); scripted sends whose
+// To is out of range, whose At is negative, or which cross a link the
+// topology does not provide (see the adversary-model note on Script).
 type Fault struct {
 	// CrashAfter, when >= 0, makes the process execute only its first
 	// CrashAfter computing steps; afterwards receptions still occur but

@@ -329,17 +329,19 @@ func TestScriptedSendValidation(t *testing.T) {
 	for _, tc := range []struct {
 		name    string
 		to      ProcessID
+		at      rat.Rat
 		wantErr string
 	}{
-		{"out-of-range", 3, "invalid process"},
-		{"cross-link", 0, "non-existent link"}, // ring has 1 -> 2 only
-		{"legal-link", 2, ""},
-		{"self", 1, ""}, // self-sends always legal
+		{"out-of-range", 3, rat.One, "invalid process"},
+		{"cross-link", 0, rat.One, "non-existent link"}, // ring has 1 -> 2 only
+		{"negative-time", 2, rat.FromInt(-1), "negative time"},
+		{"legal-link", 2, rat.One, ""},
+		{"self", 1, rat.One, ""}, // self-sends always legal
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			cfg := base()
 			cfg.Faults = map[ProcessID]Fault{1: {CrashAfter: NeverCrash, Script: []ScriptedSend{
-				{At: rat.One, To: tc.to, Payload: "forged"},
+				{At: tc.at, To: tc.to, Payload: "forged"},
 			}}}
 			_, err := Run(cfg)
 			if tc.wantErr == "" {

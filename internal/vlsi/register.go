@@ -30,7 +30,7 @@ func init() {
 			{Name: "scale", Kind: workload.Rational, Default: "1", Doc: "technology-migration factor applied to every wire"},
 			{Name: "silent", Kind: workload.Int, Default: "0", Doc: "number of dead modules (fab defects), IDs n-1 downward"},
 			{Name: "maxevents", Kind: workload.Int, Default: "400000", Doc: "receive-event budget"},
-		}, workload.TopologyParams()...),
+		}, append(workload.TopologyParams(), workload.FaultParams()...)...),
 		Job:     vlsiJob,
 		Verdict: vlsiVerdict,
 	})
@@ -51,16 +51,27 @@ func vlsiJob(v workload.Values, seed int64) (runner.Job, error) {
 	if silent < 0 || silent > f {
 		return runner.Job{}, fmt.Errorf("vlsi: silent=%d must be within [0, f=%d]", silent, f)
 	}
-	var faults map[sim.ProcessID]sim.Fault
-	if silent > 0 {
-		faults = make(map[sim.ProcessID]sim.Fault, silent)
-		for i := 0; i < silent; i++ {
-			faults[sim.ProcessID(n-1-i)] = sim.Silent()
-		}
-	}
 	topo, err := workload.ResolveTopology(v, n)
 	if err != nil {
 		return runner.Job{}, err
+	}
+	// The chip has no live Byzantine family (dead modules and stuck
+	// drivers, not adversarial logic): the nil factory rejects byz
+	// clauses, crash/script model fab defects and glitching wires.
+	faults, err := workload.SharedOrLegacyFaults(v, n, topo, nil,
+		silent > 0, "silent>0",
+		func() map[sim.ProcessID]sim.Fault {
+			m := make(map[sim.ProcessID]sim.Fault, silent)
+			for i := 0; i < silent; i++ {
+				m[sim.ProcessID(n-1-i)] = sim.Silent()
+			}
+			return m
+		})
+	if err != nil {
+		return runner.Job{}, err
+	}
+	if len(faults) > f {
+		return runner.Job{}, fmt.Errorf("vlsi: fault spec %q injects %d faults, bound is f=%d", v.String("faults"), len(faults), f)
 	}
 	cfg := sim.Config{
 		N:         n,

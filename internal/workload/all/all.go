@@ -10,6 +10,8 @@ package all
 
 import (
 	_ "repro/internal/clocksync"
+	_ "repro/internal/consensus"
+	_ "repro/internal/detector"
 	_ "repro/internal/lockstep"
 	_ "repro/internal/parsync"
 	_ "repro/internal/theta"

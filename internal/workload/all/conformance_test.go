@@ -35,8 +35,8 @@ var conformanceSeeds = []int64{1, 2}
 // required is the catalogue the acceptance criteria demand; more may
 // register, fewer is a failure.
 var required = []string{
-	"broadcast", "clocksync", "lockstep", "parsync",
-	"scenario", "theta", "variants", "vlsi",
+	"broadcast", "clocksync", "consensus", "lockstep", "omega",
+	"parsync", "scenario", "theta", "variants", "vlsi",
 }
 
 func source(t *testing.T, name string) workload.Source {

@@ -35,15 +35,22 @@ func init() {
 			{Name: "min", Kind: Rational, Default: "1", Doc: "minimum message delay"},
 			{Name: "max", Kind: Rational, Default: "3/2", Doc: "maximum message delay"},
 			{Name: "maxevents", Kind: Int, Default: "0", Doc: "receive-event budget (0 = simulator default)"},
-		}, TopologyParams()...),
+		}, append(TopologyParams(), FaultParams()...)...),
 		Job: func(v Values, seed int64) (runner.Job, error) {
 			topo, err := ResolveTopology(v, v.Int("n"))
+			if err != nil {
+				return runner.Job{}, err
+			}
+			// No algorithm, no adversary family: crash/script clauses
+			// carve holes in the traffic, byz is rejected.
+			faults, err := ResolveFaults(v, v.Int("n"), topo, nil)
 			if err != nil {
 				return runner.Job{}, err
 			}
 			cfg := sim.Config{
 				N:         v.Int("n"),
 				Spawn:     BroadcastSpawner(v.Int("target")),
+				Faults:    faults,
 				Delays:    sim.UniformDelay{Min: v.Rat("min"), Max: v.Rat("max")},
 				Topology:  topo,
 				Seed:      seed,

@@ -1,0 +1,182 @@
+package workload
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/rat"
+	"repro/internal/sim"
+)
+
+// Fault injection as a first-class, sweepable workload axis. FaultParams
+// declares a textual fault spec alongside the seed for randomized
+// adversaries; ResolveFaults turns the resolved values into the
+// sim.Config fault map. The spec sweeps like any other parameter
+// (`abcsim -sweep faults=none,crash/1@0,crash/1@3` for crash-at-step
+// grids, `-sweep faults=byz/1@20,byz/1@60` for Byzantine budgets), so
+// every registered source shares one fault vocabulary instead of
+// hand-built sim.Fault maps.
+//
+// Spec grammar — "none", or clauses joined by '+' (never ',', which
+// separates sweep values):
+//
+//	crash/K[@S]   K processes crash after S computing steps (default 0:
+//	              silent from the start, not even a wake-up step)
+//	byz/K[@B]     K live Byzantine adversaries with step budget B
+//	              (default 60), built by the source's ByzFactory
+//	script/K[@T]  K scripted-message adversaries, each injecting one junk
+//	              payload at time T (default 0) to its smallest
+//	              out-neighbor under the resolved topology (itself when
+//	              the topology gives it no out-links); the processes
+//	              otherwise run the correct algorithm but count as faulty
+//
+// Faulty IDs are assigned n-1 downward in clause order, matching the
+// repository convention (clocksync.Adversaries, vlsi's silent modules).
+// Sources validate the total against their own resilience bound f via
+// len(faults).
+func FaultParams() []Param {
+	return []Param{
+		{Name: "faults", Kind: String, Default: "none",
+			Doc: "fault spec: none, or '+'-joined crash/K[@S], byz/K[@B], script/K[@T] (IDs n-1 downward)"},
+		{Name: "faultseed", Kind: Int64, Default: "-1",
+			Doc: "seed for Byzantine adversaries; -1 derives it from the job seed"},
+	}
+}
+
+// ByzFactory builds a source's i-th live Byzantine adversary for process
+// id with the given step budget. Sources without a live adversary family
+// pass nil, which rejects byz clauses at job build.
+type ByzFactory func(i int, id sim.ProcessID, budget int) sim.Process
+
+// faultClause is one parsed spec clause.
+type faultClause struct {
+	kind   string
+	k      int
+	step   int     // crash: CrashAfter
+	budget int     // byz: adversary step budget
+	at     rat.Rat // script: injection time
+}
+
+// parseFaults parses the spec grammar documented on FaultParams.
+func parseFaults(spec string) ([]faultClause, error) {
+	if spec == "none" || spec == "" {
+		return nil, nil
+	}
+	var clauses []faultClause
+	for _, part := range strings.Split(spec, "+") {
+		kind, rest, ok := strings.Cut(part, "/")
+		if !ok {
+			return nil, fmt.Errorf("workload: fault clause %q: want kind/K[@arg]", part)
+		}
+		ks, arg, hasArg := strings.Cut(rest, "@")
+		k, err := strconv.Atoi(ks)
+		if err != nil || k < 0 {
+			return nil, fmt.Errorf("workload: fault clause %q: bad count %q", part, ks)
+		}
+		c := faultClause{kind: kind, k: k, step: 0, budget: 60}
+		switch kind {
+		case "crash":
+			if hasArg {
+				if c.step, err = strconv.Atoi(arg); err != nil || c.step < 0 {
+					return nil, fmt.Errorf("workload: fault clause %q: bad crash step %q", part, arg)
+				}
+			}
+		case "byz":
+			if hasArg {
+				if c.budget, err = strconv.Atoi(arg); err != nil || c.budget < 1 {
+					return nil, fmt.Errorf("workload: fault clause %q: bad budget %q", part, arg)
+				}
+			}
+		case "script":
+			if hasArg {
+				if c.at, err = rat.Parse(arg); err != nil || c.at.Sign() < 0 {
+					return nil, fmt.Errorf("workload: fault clause %q: bad time %q", part, arg)
+				}
+			}
+		default:
+			return nil, fmt.Errorf("workload: fault clause %q: unknown kind %q (want crash, byz, script)", part, kind)
+		}
+		clauses = append(clauses, c)
+	}
+	return clauses, nil
+}
+
+// scriptTarget picks the deterministic recipient of a scripted send from
+// p: the smallest process p is linked to (0 under the fully connected
+// default), itself when the topology gives it no out-links — self-sends
+// are always legal (see sim.Fault).
+func scriptTarget(p sim.ProcessID, n int, topo sim.Topology) sim.ProcessID {
+	for q := sim.ProcessID(0); int(q) < n; q++ {
+		if q == p {
+			continue
+		}
+		if topo == nil || topo.Linked(p, q) {
+			return q
+		}
+	}
+	return p
+}
+
+// SharedOrLegacyFaults resolves the shared fault axis unless the
+// source's legacy fault switch (clocksync/lockstep `adversaries`, vlsi
+// `silent`) is engaged, in which case legacy supplies the map and a
+// non-none spec is a conflict error — both conventions assign IDs n-1
+// downward, so combining them would double-book processes silently.
+func SharedOrLegacyFaults(v Values, n int, topo sim.Topology, byz ByzFactory,
+	legacyOn bool, legacyName string, legacy func() map[sim.ProcessID]sim.Fault) (map[sim.ProcessID]sim.Fault, error) {
+	if legacyOn {
+		if spec := v.String("faults"); spec != "none" && spec != "" {
+			return nil, fmt.Errorf("workload: %s: fault spec %q conflicts with %s (both assign IDs n-1 downward)",
+				v.source, spec, legacyName)
+		}
+		return legacy(), nil
+	}
+	return ResolveFaults(v, n, topo, byz)
+}
+
+// ResolveFaults builds the fault map for the resolved values: the spec's
+// clauses claim IDs n-1 downward, Byzantine slots are filled by byz, and
+// scripted slots inject one junk payload routed by topo. A nil map means
+// no faults. Callers validate the returned map's size against their own
+// resilience bound.
+func ResolveFaults(v Values, n int, topo sim.Topology, byz ByzFactory) (map[sim.ProcessID]sim.Fault, error) {
+	clauses, err := parseFaults(v.String("faults"))
+	if err != nil {
+		return nil, err
+	}
+	total := 0
+	for _, c := range clauses {
+		total += c.k
+	}
+	if total == 0 {
+		return nil, nil
+	}
+	if total > n {
+		return nil, fmt.Errorf("workload: fault spec %q claims %d processes, system has %d", v.String("faults"), total, n)
+	}
+	faults := make(map[sim.ProcessID]sim.Fault, total)
+	next := n - 1 // IDs assigned downward in clause order
+	i := 0        // running adversary index across byz clauses
+	for _, c := range clauses {
+		for j := 0; j < c.k; j++ {
+			id := sim.ProcessID(next)
+			next--
+			switch c.kind {
+			case "crash":
+				faults[id] = sim.Crash(c.step)
+			case "byz":
+				if byz == nil {
+					return nil, fmt.Errorf("workload: %s declares no Byzantine adversary family (fault spec %q)", v.source, v.String("faults"))
+				}
+				faults[id] = sim.ByzantineFault(byz(i, id, c.budget))
+				i++
+			case "script":
+				faults[id] = sim.Fault{CrashAfter: sim.NeverCrash, Script: []sim.ScriptedSend{
+					{At: c.at, To: scriptTarget(id, n, topo), Payload: fmt.Sprintf("noise/%d", id)},
+				}}
+			}
+		}
+	}
+	return faults, nil
+}

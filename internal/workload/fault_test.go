@@ -1,0 +1,177 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/rat"
+	"repro/internal/sim"
+)
+
+// faultValues resolves the shared fault axis with the given spec over a
+// throwaway source that declares only FaultParams.
+func faultValues(t *testing.T, overrides map[string]string) Values {
+	t.Helper()
+	s := Source{Name: "faulttest", Doc: "t", Params: FaultParams()}
+	v, err := s.Resolve(overrides)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestResolveFaultsCrash(t *testing.T) {
+	v := faultValues(t, map[string]string{"faults": "crash/2@3"})
+	faults, err := ResolveFaults(v, 6, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(faults) != 2 {
+		t.Fatalf("got %d faults, want 2", len(faults))
+	}
+	// IDs n-1 downward, the clause's step as CrashAfter.
+	for _, id := range []sim.ProcessID{5, 4} {
+		f, ok := faults[id]
+		if !ok {
+			t.Fatalf("process %d not faulted (have %v)", id, faults)
+		}
+		if f.CrashAfter != 3 || f.Byzantine != nil || f.Script != nil {
+			t.Errorf("process %d: %+v, want pure crash after 3", id, f)
+		}
+	}
+	// Default step is 0 (silent from the start).
+	v = faultValues(t, map[string]string{"faults": "crash/1"})
+	faults, err = ResolveFaults(v, 4, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := faults[3]; f.CrashAfter != 0 {
+		t.Errorf("default crash step = %d, want 0", f.CrashAfter)
+	}
+}
+
+func TestResolveFaultsNone(t *testing.T) {
+	for _, spec := range []string{"none", ""} {
+		v := faultValues(t, map[string]string{"faults": spec})
+		faults, err := ResolveFaults(v, 4, nil, nil)
+		if err != nil || faults != nil {
+			t.Errorf("spec %q: got (%v, %v), want (nil, nil)", spec, faults, err)
+		}
+	}
+}
+
+func TestResolveFaultsByz(t *testing.T) {
+	type call struct{ i, budget int }
+	var calls []call
+	byz := func(i int, id sim.ProcessID, budget int) sim.Process {
+		calls = append(calls, call{i, budget})
+		return sim.ProcessFunc(func(*sim.Env, sim.Message) {})
+	}
+	v := faultValues(t, map[string]string{"faults": "byz/2@20+byz/1"})
+	faults, err := ResolveFaults(v, 8, nil, byz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(faults) != 3 {
+		t.Fatalf("got %d faults, want 3", len(faults))
+	}
+	// The adversary index runs across clauses; budgets are per clause
+	// with default 60.
+	want := []call{{0, 20}, {1, 20}, {2, 60}}
+	if len(calls) != len(want) {
+		t.Fatalf("factory called %d times, want %d", len(calls), len(want))
+	}
+	for i := range want {
+		if calls[i] != want[i] {
+			t.Errorf("call %d: %+v, want %+v", i, calls[i], want[i])
+		}
+	}
+	for _, id := range []sim.ProcessID{7, 6, 5} {
+		if faults[id].Byzantine == nil {
+			t.Errorf("process %d has no Byzantine handler", id)
+		}
+	}
+
+	// Without a factory, byz clauses are a configuration error.
+	if _, err := ResolveFaults(v, 8, nil, nil); err == nil || !strings.Contains(err.Error(), "Byzantine") {
+		t.Errorf("nil factory accepted byz clause: %v", err)
+	}
+}
+
+func TestResolveFaultsScript(t *testing.T) {
+	v := faultValues(t, map[string]string{"faults": "script/1@3/2"})
+	faults, err := ResolveFaults(v, 4, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := faults[3]
+	if f.CrashAfter != sim.NeverCrash || len(f.Script) != 1 {
+		t.Fatalf("process 3: %+v, want one scripted send and no crash", f)
+	}
+	s := f.Script[0]
+	if !s.At.Equal(rat.New(3, 2)) || s.To != 0 {
+		t.Errorf("scripted send %+v, want At=3/2 To=0 (smallest peer, full topology)", s)
+	}
+
+	// Under a (unidirectional) ring the target is the smallest linked
+	// out-neighbor: 3's only out-link.
+	faults, err = ResolveFaults(v, 4, sim.Ring(4), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if to := faults[3].Script[0].To; to != 0 {
+		t.Errorf("ring scripted target = %d, want 0 (successor of 3 in Ring(4))", to)
+	}
+	faults, err = ResolveFaults(faultValues(t, map[string]string{"faults": "script/2"}), 5, sim.Ring(5), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if to := faults[3].Script[0].To; to != 4 {
+		t.Errorf("ring scripted target for 3 = %d, want 4 (successor of 3 in Ring(5))", to)
+	}
+}
+
+func TestResolveFaultsErrors(t *testing.T) {
+	cases := []struct{ spec, want string }{
+		{"crash", "want kind/K"},
+		{"crash/x", "bad count"},
+		{"crash/-1", "bad count"},
+		{"crash/1@-2", "bad crash step"},
+		{"byz/1@0", "bad budget"},
+		{"script/1@-1", "bad time"},
+		{"drop/1", "unknown kind"},
+		{"crash/5", "claims 5 processes, system has 4"},
+	}
+	for _, tc := range cases {
+		v := faultValues(t, map[string]string{"faults": tc.spec})
+		_, err := ResolveFaults(v, 4, nil, func(int, sim.ProcessID, int) sim.Process {
+			return sim.ProcessFunc(func(*sim.Env, sim.Message) {})
+		})
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("spec %q: got %v, want error containing %q", tc.spec, err, tc.want)
+		}
+	}
+}
+
+func TestSharedOrLegacyFaults(t *testing.T) {
+	legacy := func() map[sim.ProcessID]sim.Fault {
+		return map[sim.ProcessID]sim.Fault{3: sim.Silent()}
+	}
+	// Legacy switch on, no spec: the legacy map wins.
+	v := faultValues(t, nil)
+	faults, err := SharedOrLegacyFaults(v, 4, nil, nil, true, "adversaries=true", legacy)
+	if err != nil || len(faults) != 1 {
+		t.Fatalf("legacy path: (%v, %v)", faults, err)
+	}
+	// Both engaged: conflict error naming the legacy switch.
+	v = faultValues(t, map[string]string{"faults": "crash/1"})
+	if _, err := SharedOrLegacyFaults(v, 4, nil, nil, true, "adversaries=true", legacy); err == nil ||
+		!strings.Contains(err.Error(), "adversaries=true") {
+		t.Errorf("conflict not rejected: %v", err)
+	}
+	// Legacy off: the spec resolves through the shared axis.
+	faults, err = SharedOrLegacyFaults(v, 4, nil, nil, false, "adversaries=true", legacy)
+	if err != nil || len(faults) != 1 || faults[3].CrashAfter != 0 {
+		t.Fatalf("shared path: (%v, %v)", faults, err)
+	}
+}
