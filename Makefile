@@ -8,14 +8,18 @@ BENCH_SMOKE = BenchmarkChecker|BenchmarkMaxRelevantRatio|BenchmarkIncrementalChe
 BENCH_SIM_SMOKE = BenchmarkSimulator/.*/^n=(8|100|10000)$$
 
 # Benchmarks recorded into $(BENCH_OUT) by bench-json: the smoke set, the
-# full simulator topology grid, and graph construction.
-BENCH_JSON = $(BENCH_SMOKE)|BenchmarkSimulator|BenchmarkGraphBuild
+# simulator topology grid up to N=100k, and graph construction. The
+# N=10^6 case is seconds per iteration, so bench-json runs it in a
+# second, shorter invocation and concatenates both streams into one
+# benchjson document.
+BENCH_JSON_MAIN = $(BENCH_SMOKE)|BenchmarkGraphBuild|BenchmarkSimulator/.*/^n=(8|100|10000|100000)$$
+BENCH_JSON_SCALE = BenchmarkSimulator/topo=ring/^n=1000000$$
 
 # Per-PR benchmark record; earlier PRs' files stay in the repository so
 # the trajectory can be diffed.
 BENCH_OUT ?= BENCH_pr6.json
 
-.PHONY: all build vet test race bench-smoke bench-json fuzz-smoke fleet-ci fleet-bench incremental-ci workloads-ci topology-ci protocols-ci cover ci
+.PHONY: all build vet test race bench bench-smoke bench-json fuzz-smoke fleet-ci fleet-bench incremental-ci workloads-ci topology-ci protocols-ci scale-ci cover ci
 
 all: build
 
@@ -31,6 +35,12 @@ test:
 race:
 	$(GO) test -race ./...
 
+# bench runs the full paper evaluation (cmd/abcbench). CPUPROFILE= and
+# MEMPROFILE= pass pprof output paths through, so engine regressions can
+# be chased with real experiment traffic: `make bench CPUPROFILE=cpu.out`.
+bench:
+	$(GO) run ./cmd/abcbench $(if $(CPUPROFILE),-cpuprofile $(CPUPROFILE)) $(if $(MEMPROFILE),-memprofile $(MEMPROFILE))
+
 # bench-smoke runs the three headline benchmarks briefly — enough to catch
 # order-of-magnitude regressions in the arithmetic layer, not to replace a
 # real benchstat comparison.
@@ -42,7 +52,9 @@ bench-smoke:
 # rendered to $(BENCH_OUT) (via cmd/benchjson) so per-PR numbers live
 # in the repository and can be diffed, not just quoted in CHANGES.md.
 bench-json:
-	$(GO) test -run=NONE -bench='$(BENCH_JSON)' -benchmem -benchtime=20x . | $(GO) run ./cmd/benchjson > $(BENCH_OUT)
+	( $(GO) test -run=NONE -bench='$(BENCH_JSON_MAIN)' -benchmem -benchtime=20x . && \
+	  $(GO) test -run=NONE -bench='$(BENCH_JSON_SCALE)' -benchmem -benchtime=3x -timeout 30m . ) \
+	  | $(GO) run ./cmd/benchjson > $(BENCH_OUT)
 	@echo wrote $(BENCH_OUT)
 
 # fuzz-smoke gives each differential fuzz target a short budget; the seed
@@ -107,7 +119,18 @@ protocols-ci:
 	$(GO) run ./cmd/abcsim -workload consensus -param algo=floodset -sweep faults=none,crash/1@0,crash/1@2 -runs 2
 	$(GO) run ./cmd/abcsim -workload clocksync -sweep faults=byz/1@20,byz/1@60 -runs 2
 
+# scale-ci mirrors the CI "scale" job: the trace-retention and
+# sink-equivalence suites (engine-level retention equivalence, the
+# registry-wide full/window/none digest agreement, window-watch vs batch
+# first-violation parity, and the retention policy layer) under the race
+# detector with shuffled order, then a single N=10^6 RetainNone ring
+# iteration as a wall-clock smoke — the time budget catches throughput
+# collapses at the PR 8 scale target, benchstat catches drift.
+scale-ci:
+	$(GO) test -race -shuffle=on -run 'Sink|Retention|WindowWatch|EventsOf' ./internal/sim ./internal/workload/...
+	$(GO) test -run=NONE -bench='$(BENCH_JSON_SCALE)' -benchmem -benchtime=1x -timeout 15m .
+
 cover:
 	$(GO) test -cover ./internal/runner ./internal/sim
 
-ci: vet race bench-smoke fleet-ci incremental-ci workloads-ci topology-ci protocols-ci
+ci: vet race bench-smoke fleet-ci incremental-ci workloads-ci topology-ci protocols-ci scale-ci

@@ -9,9 +9,13 @@
 // internal simulation batches fan out over W workers. Results are
 // bit-identical for every width — -workers only changes wall-clock time.
 //
+// -cpuprofile and -memprofile write pprof profiles of the whole suite,
+// for chasing engine-level regressions with real experiment traffic
+// rather than microbenchmarks (`make bench CPUPROFILE=cpu.out`).
+//
 // Usage:
 //
-//	abcbench [-only E7] [-workers 8]
+//	abcbench [-only E7] [-workers 8] [-cpuprofile cpu.out] [-memprofile mem.out]
 package main
 
 import (
@@ -22,6 +26,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/experiments"
 	"repro/internal/runner"
@@ -51,8 +56,36 @@ func run(args []string, stdout, stderr io.Writer) error {
 	only := fs.String("only", "", "print only the experiment with this ID (e.g. E7); the full suite still runs")
 	workers := fs.Int("workers", runtime.GOMAXPROCS(0),
 		"fleet width: experiments and their internal simulation batches run on this many workers (results are identical for any width)")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the suite to this file")
+	memprofile := fs.String("memprofile", "", "write an allocation profile (after the suite) to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(stderr, "abcbench: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // flush the final allocations into the profile
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(stderr, "abcbench: memprofile:", err)
+			}
+		}()
 	}
 
 	experiments.SetWorkers(*workers)

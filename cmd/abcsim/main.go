@@ -221,7 +221,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 			abc = fmt.Sprintf(", ABC(Ξ=%v) %s", r.Xi, status)
 		}
 		fmt.Fprintf(stdout, "%s: %d events, %d messages%s%s\n",
-			r.Key, len(r.Trace.Events), len(r.Trace.Msgs), abc, extra)
+			r.Key, r.Trace.TotalEvents(), r.Trace.TotalMsgs(), abc, extra)
 	}
 	fmt.Fprintf(stdout, "fleet: %d runs on %d workers: %d admissible, %d inadmissible, %d truncated, %d events total\n",
 		stats.Jobs, *workers, stats.Admissible, stats.Inadmissible, stats.Truncated, stats.Events)
@@ -258,16 +258,34 @@ func printList(stdout io.Writer) {
 // without one, no verdict line is printed rather than a vacuous "ok".
 func reportSingle(stdout io.Writer, name string, v workload.Values, seed int64, r runner.JobResult, hasVerdict bool, traceOut, dotOut string) error {
 	tr := r.Trace
-	g := r.Graph
-	if g == nil {
-		g = causality.Build(tr, causality.Options{})
-	}
 	header := "workload=" + name
 	if v.Has("n") {
 		header += fmt.Sprintf(" n=%d", v.Int("n"))
 	}
+	if !tr.Complete() && r.Graph == nil {
+		// Bounded retention: the complete execution graph cannot be
+		// rebuilt, so report counters and the stream digest instead.
+		if traceOut != "" || dotOut != "" {
+			return fmt.Errorf("-trace/-dot exports need the complete trace; run with trace=full")
+		}
+		fmt.Fprintf(stdout, "%s seed=%d: %d events, %d messages (trace=%v retention), stream hash %016x\n",
+			header, seed, tr.TotalEvents(), tr.TotalMsgs(), tr.Retention(), tr.StreamHash())
+		if r.Sim != nil && r.Sim.Truncated {
+			fmt.Fprintln(stdout, "note: run truncated by event/time budget")
+		}
+		if r.CheckErr != nil {
+			fmt.Fprintf(stdout, "domain verdict: FAILED: %v\n", r.CheckErr)
+		} else if hasVerdict {
+			fmt.Fprintln(stdout, "domain verdict: ok")
+		}
+		return nil
+	}
+	g := r.Graph
+	if g == nil {
+		g = causality.Build(tr, causality.Options{})
+	}
 	fmt.Fprintf(stdout, "%s seed=%d: %d events, %d messages, %d graph nodes\n",
-		header, seed, len(tr.Events), len(tr.Msgs), g.NumNodes())
+		header, seed, tr.TotalEvents(), tr.TotalMsgs(), g.NumNodes())
 	if r.Sim != nil && r.Sim.Truncated {
 		fmt.Fprintln(stdout, "note: run truncated by event/time budget")
 	}
@@ -280,9 +298,12 @@ func reportSingle(stdout io.Writer, name string, v workload.Values, seed int64, 
 		}
 	}
 	if r.FirstViolation >= 0 {
-		ev := tr.Events[r.FirstViolation]
-		fmt.Fprintf(stdout, "admissibility first fails at event %d (p%d/%d, t=%v); run stopped there\n",
-			r.FirstViolation, ev.Proc, ev.Index, ev.Time)
+		if ev, ok := tr.EventByPos(r.FirstViolation); ok {
+			fmt.Fprintf(stdout, "admissibility first fails at event %d (p%d/%d, t=%v); run stopped there\n",
+				r.FirstViolation, ev.Proc, ev.Index, ev.Time)
+		} else {
+			fmt.Fprintf(stdout, "admissibility first fails at event %d; run stopped there\n", r.FirstViolation)
+		}
 	}
 	if r.RatioFound {
 		fmt.Fprintf(stdout, "critical ratio: %v (admissible for every Ξ > %v)\n", r.Ratio, r.Ratio)
@@ -295,6 +316,9 @@ func reportSingle(stdout io.Writer, name string, v workload.Values, seed int64, 
 		fmt.Fprintln(stdout, "domain verdict: ok")
 	}
 
+	if (traceOut != "" || dotOut != "") && !tr.Complete() {
+		return fmt.Errorf("-trace/-dot exports need the complete trace; run with trace=full")
+	}
 	if traceOut != "" {
 		w, err := os.Create(traceOut)
 		if err != nil {

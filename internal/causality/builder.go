@@ -29,6 +29,13 @@ import (
 // The Builder maintains its own (process, index) → position index, so it
 // also works on bare prefix views of a trace (a sim.Trace value whose
 // Events slice is truncated), which lack the EventAt index.
+//
+// The Builder reads the trace exclusively through the retention-safe
+// accessors (TotalEvents, EventByPos, TriggerOf), so it also consumes
+// window-retention traces (sim.RetainWindow) — provided it is invoked
+// often enough that no unconsumed event slides out of the window, which
+// any per-event Monitor guarantees. A consumed-then-evicted event is
+// fine; an evicted-before-consumption event is an error.
 type Builder struct {
 	g    *Graph
 	opts Options
@@ -64,19 +71,22 @@ func NewBuilder(t *sim.Trace, opts Options) (*Builder, error) {
 func (b *Builder) Append() (int, error) {
 	g, t := b.g, b.g.trace
 	start := b.consumed
-	for pos := start; pos < len(t.Events); pos++ {
-		ev := t.Events[pos]
+	for pos := start; pos < t.TotalEvents(); pos++ {
+		ev, ok := t.EventByPos(pos)
+		if !ok {
+			return pos - start, fmt.Errorf("causality: event %d was evicted by bounded retention before consumption (widen the window or consume more often)", pos)
+		}
 		if ev.Proc < 0 || int(ev.Proc) >= t.N {
 			return pos - start, fmt.Errorf("causality: event %d has process %d out of range", pos, ev.Proc)
 		}
-		if ev.Trigger < 0 || int(ev.Trigger) >= len(t.Msgs) {
+		m, ok := t.TriggerOf(pos)
+		if !ok {
 			return pos - start, fmt.Errorf("causality: event %d has dangling trigger %d", pos, ev.Trigger)
 		}
 		if ev.Index != len(b.eventPos[ev.Proc]) {
 			return pos - start, fmt.Errorf("causality: event %d at p%d has index %d, want %d (builder requires dense per-process order)",
 				pos, ev.Proc, ev.Index, len(b.eventPos[ev.Proc]))
 		}
-		m := t.Msgs[ev.Trigger]
 
 		id := NodeID(len(g.nodes))
 		g.nodes = append(g.nodes, Node{

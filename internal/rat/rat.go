@@ -498,6 +498,20 @@ func (x Rat) Den() int64 {
 	return d.Int64()
 }
 
+// Inline returns the numerator and positive denominator of x in lowest
+// terms when the value is held in the inline int64 fast path, with
+// ok = false for promoted (big.Rat-backed) values. Unlike Num/Den it
+// never panics and never allocates, which makes it the right accessor
+// for hashing hot paths that fold rationals into a running digest and
+// fall back to String() only for promoted values.
+func (x Rat) Inline() (num, den int64, ok bool) {
+	if x.br != nil {
+		return 0, 0, false
+	}
+	n, d := x.parts()
+	return n, d, true
+}
+
 // Float64 returns the nearest float64 value to x.
 func (x Rat) Float64() float64 {
 	if x.br == nil {

@@ -167,8 +167,10 @@ func (s *Stats) add(r JobResult) {
 		s.Truncated++
 	}
 	if r.Trace != nil {
-		s.Events += len(r.Trace.Events)
-		s.Msgs += len(r.Trace.Msgs)
+		// Totals, not slice lengths: bounded-retention traces count every
+		// event and message the run produced, not just those retained.
+		s.Events += r.Trace.TotalEvents()
+		s.Msgs += r.Trace.TotalMsgs()
 	}
 	if r.Verdict != nil {
 		if r.Verdict.Admissible {
@@ -306,6 +308,11 @@ func execute(engine *sim.Engine, index int, job Job) JobResult {
 			res.Graph = causality.Build(res.Trace, causality.Options{})
 		}
 	} else if job.Xi.Sign() > 0 || job.Ratio {
+		if !res.Trace.Complete() {
+			res.Err = fmt.Errorf("runner: job %d (%s): batch admissibility/ratio analysis needs a complete trace, got %v retention (use Watch for incremental checking, or full retention)",
+				index, job.Key, res.Trace.Retention())
+			return res
+		}
 		res.Graph = causality.Build(res.Trace, causality.Options{})
 	}
 	if job.Xi.Sign() > 0 && watcher == nil {

@@ -15,11 +15,15 @@ import (
 //
 // The point of an Engine over the one-shot Run is fan-out cost: the fleet
 // runner (internal/runner) executes thousands of short simulations per
-// worker, and the delivery queue, per-process scratch arrays, RNG, and the
-// step environment's send buffer are all reused across runs instead of
-// reallocated. Everything that escapes into the Result — the Trace and the
-// process state machines — is freshly allocated per run, so results from
-// consecutive runs never alias.
+// worker, and the delivery queue, per-process scratch arrays, RNG, the
+// step environment (and its send buffer), the per-process event-index
+// rows, and — under bounded retention — the in-flight message store are
+// all reused across runs instead of reallocated. Everything that escapes
+// into the Result — the Trace and the process state machines — is freshly
+// allocated per run, so results from consecutive runs never alias:
+// full-retention event/message storage is freshly sized to the engine's
+// high-water marks, and the pooled index rows are compacted into a fresh
+// flat copy before the Result is returned.
 //
 // An Engine is not safe for concurrent use; give each goroutine its own.
 type Engine struct {
@@ -33,13 +37,24 @@ type Engine struct {
 	eventCount []int // receive events recorded per process
 	wakeTime   []Time
 	out        []pendingSend // Env send buffer, recycled between steps
+	env        Env           // the one step environment, reused every step
+	posRows    [][]int32     // pooled eventPos rows; compacted out per run
+	lastEvents int           // high-water marks sizing the next full-retention run
+	lastMsgs   int
+	pend       []Message // bounded retention: in-flight message store
+	pendDone   []bool    // pend[i] delivered (eligible for compaction)
+	pendBase   MsgID     // ID of pend[0]
+	pendStart  int       // first undelivered index in pend
 
 	// Per-run state; reset at the top of Run.
 	cfg        Config
 	links      *Links // cfg.Topology when it is a *Links, else nil
+	ret        Retention
+	cb         Sink // cfg.Sink when it observes (custom sink), else nil
 	trace      *Trace
 	procs      []Process
 	seq        int64
+	nextMsg    MsgID
 	monitorErr error
 }
 
@@ -64,6 +79,23 @@ func (e *Engine) Run(cfg Config) (*Result, error) {
 	}
 	if cfg.StartTimes != nil && len(cfg.StartTimes) != cfg.N {
 		return nil, fmt.Errorf("sim: StartTimes has length %d, want %d", len(cfg.StartTimes), cfg.N)
+	}
+	ret := Retention{Mode: RetainFullMode}
+	if cfg.Sink != nil {
+		ret = cfg.Sink.Retention()
+		switch ret.Mode {
+		case RetainFullMode:
+		case RetainWindowMode:
+			if ret.Window < 1 {
+				return nil, fmt.Errorf("sim: window retention needs Window >= 1, got %d", ret.Window)
+			}
+		case RetainNoneMode:
+			if cfg.Monitor != nil {
+				return nil, errors.New("sim: Monitor requires retained events (full or window retention, not none)")
+			}
+		default:
+			return nil, fmt.Errorf("sim: unknown retention mode %v", ret.Mode)
+		}
 	}
 	var links *Links
 	if l, ok := cfg.Topology.(*Links); ok && l != nil {
@@ -101,6 +133,7 @@ func (e *Engine) Run(cfg Config) (*Result, error) {
 	}
 
 	cfg.Delays = compileDelays(cfg.Delays)
+	e.ret = ret
 	e.reset(cfg)
 	e.links = links
 	if links != nil && cap(e.out) < links.MaxOutDegree()+1 {
@@ -134,7 +167,7 @@ func (e *Engine) Run(cfg Config) (*Result, error) {
 			at = cfg.StartTimes[p]
 		}
 		e.wakeTime[p] = at
-		id := e.addMessage(Message{
+		id := e.recordMessage(Message{
 			From: External, To: p, SendStep: SendStepExternal,
 			SendTime: at, RecvTime: at, Payload: Wakeup{},
 		})
@@ -153,25 +186,34 @@ func (e *Engine) Run(cfg Config) (*Result, error) {
 	}
 
 	truncated := e.loop(maxEvents)
+	e.finishTrace()
 	res := &Result{Trace: e.trace, Procs: e.procs, Truncated: truncated, MonitorErr: e.monitorErr}
 	// Drop the escaping references so pooled state never aliases a result.
-	e.trace, e.procs, e.cfg, e.links, e.monitorErr = nil, nil, Config{}, nil, nil
+	e.trace, e.procs, e.cfg, e.links, e.cb, e.monitorErr = nil, nil, Config{}, nil, nil, nil
+	e.env = Env{}
 	return res, nil
 }
 
 // reset prepares the pooled storage for a new run: the queue and scratch
 // arrays are cleared and resized to cfg.N, the RNG is reseeded (producing
 // the same draw sequence as a fresh rand.New(rand.NewSource(seed))), and
-// per-run outputs are freshly allocated.
+// per-run outputs are freshly allocated. e.ret must be set before reset.
 func (e *Engine) reset(cfg Config) {
 	e.cfg = cfg
 	e.seq = 0
+	e.nextMsg = 0
 	e.monitorErr = nil
+	e.cb = nil
+	if cfg.Sink != nil {
+		if _, builtin := cfg.Sink.(retentionSink); !builtin {
+			e.cb = cfg.Sink
+		}
+	}
 	if cfg.Queue == QueueBucket || (cfg.Queue == QueueAuto && cfg.N >= autoBucketN) {
 		if e.wheelQ == nil {
 			e.wheelQ = newBucketQueue()
 		}
-		e.wheelQ.reset()
+		e.wheelQ.reset(cfg.N)
 		e.queue = e.wheelQ
 	} else {
 		e.heapQ = e.heapQ[:0]
@@ -189,10 +231,68 @@ func (e *Engine) reset(cfg Config) {
 	for p := 0; p < cfg.N; p++ {
 		e.crashAfter[p] = NeverCrash
 	}
+	e.pendBase = 0
+	e.pendStart = 0
 
-	// Escaping per-run state: always fresh.
-	e.trace = &Trace{N: cfg.N, Faulty: make([]bool, cfg.N), eventPos: make([][]int32, cfg.N)}
+	// Escaping per-run state: always fresh. Full retention pre-sizes the
+	// event and message stores to the engine's high-water marks so steady
+	// fleet traffic allocates each exactly once instead of growing them
+	// (append's growth factor costs ~5x the final size in cumulative
+	// allocation); window retention sizes to the window; none retains
+	// nothing.
+	e.trace = &Trace{N: cfg.N, Faulty: make([]bool, cfg.N), mode: e.ret.Mode}
 	e.procs = make([]Process, cfg.N)
+	switch e.ret.Mode {
+	case RetainFullMode:
+		e.trace.Events = make([]Event, 0, e.lastEvents)
+		e.trace.Msgs = make([]Message, 0, e.lastMsgs)
+		if cap(e.posRows) < cfg.N {
+			e.posRows = make([][]int32, cfg.N)
+		}
+		e.posRows = e.posRows[:cfg.N]
+		for p := range e.posRows {
+			e.posRows[p] = e.posRows[p][:0]
+		}
+		// Live view during the run (monitors may call EventAt); replaced
+		// by a compacted fresh copy before the Result escapes.
+		e.trace.eventPos = e.posRows
+	case RetainWindowMode:
+		e.trace.Events = make([]Event, 0, 2*e.ret.Window)
+		e.trace.Msgs = make([]Message, 0, 2*e.ret.Window)
+		e.trace.digest.init()
+	case RetainNoneMode:
+		e.trace.digest.init()
+	}
+}
+
+// finishTrace seals the per-run trace before it escapes: full retention
+// compacts the pooled index rows into one fresh flat array (two
+// allocations) and refreshes the high-water marks; bounded retention
+// clears the pooled in-flight store so it pins no payloads between runs.
+func (e *Engine) finishTrace() {
+	switch e.ret.Mode {
+	case RetainFullMode:
+		t := e.trace
+		flat := make([]int32, len(t.Events))
+		spine := make([][]int32, t.N)
+		off := 0
+		for p := range spine {
+			n := copy(flat[off:], e.posRows[p])
+			spine[p] = flat[off : off+n : off+n]
+			off += n
+		}
+		t.eventPos = spine
+		if len(t.Events) > e.lastEvents {
+			e.lastEvents = len(t.Events)
+		}
+		if len(t.Msgs) > e.lastMsgs {
+			e.lastMsgs = len(t.Msgs)
+		}
+	default:
+		clear(e.pend)
+		e.pend = e.pend[:0]
+		e.pendDone = e.pendDone[:0]
+	}
 }
 
 func resizeInts(s []int, n int) []int {
@@ -222,9 +322,29 @@ func (e *Engine) nextSeq() int64 {
 	return e.seq
 }
 
-func (e *Engine) addMessage(m Message) MsgID {
-	m.ID = MsgID(len(e.trace.Msgs))
-	e.trace.Msgs = append(e.trace.Msgs, m)
+// recordMessage finalizes one message (its receive time already
+// assigned), stores it per the retention mode, and returns its ID. Under
+// bounded retention the message lives in the pooled in-flight store until
+// delivered, and the stream digest folds it immediately — in ID order,
+// matching the on-demand digest of a complete trace.
+func (e *Engine) recordMessage(m Message) MsgID {
+	m.ID = e.nextMsg
+	e.nextMsg++
+	switch e.ret.Mode {
+	case RetainFullMode:
+		e.trace.Msgs = append(e.trace.Msgs, m)
+	default:
+		e.trace.totalMsgs++
+		e.trace.digest.foldMessage(&m)
+		e.pend = append(e.pend, m)
+		e.pendDone = append(e.pendDone, false)
+	}
+	if e.cb != nil {
+		// Copy for the interface call: handing &m itself to an opaque
+		// callee would make every message heap-escape even with no sink.
+		cm := m
+		e.cb.Message(&cm)
+	}
 	return m.ID
 }
 
@@ -236,7 +356,6 @@ func (e *Engine) sendMessage(from ProcessID, sendStep int, sendTime Time, to Pro
 		From: from, To: to, SendStep: sendStep,
 		SendTime: sendTime, Payload: payload,
 	}
-	m.ID = MsgID(len(e.trace.Msgs))
 	d := e.cfg.Delays.Delay(m, e.rng)
 	if d.Sign() < 0 {
 		panic(fmt.Sprintf("sim: delay policy returned negative delay %v", d))
@@ -246,17 +365,85 @@ func (e *Engine) sendMessage(from ProcessID, sendStep int, sendTime Time, to Pro
 		recv = e.wakeTime[to]
 	}
 	m.RecvTime = recv
-	e.trace.Msgs = append(e.trace.Msgs, m)
-	e.queue.push(delivery{at: recv, key: deliveryKey(recv), seq: e.nextSeq(), msg: m.ID})
+	id := e.recordMessage(m)
+	e.queue.push(delivery{at: recv, key: deliveryKey(recv), seq: e.nextSeq(), msg: id})
+}
+
+// takeDelivery resolves a popped delivery to its message. Under bounded
+// retention the message is fetched from the in-flight store, marked
+// delivered, and the store's delivered prefix is compacted away
+// (amortized O(1)) so memory tracks the in-flight population, not the
+// run length.
+func (e *Engine) takeDelivery(d delivery) Message {
+	if e.ret.Mode == RetainFullMode {
+		return e.trace.Msgs[d.msg]
+	}
+	i := int(d.msg - e.pendBase)
+	m := e.pend[i]
+	e.pendDone[i] = true
+	s := e.pendStart
+	for s < len(e.pend) && e.pendDone[s] {
+		s++
+	}
+	e.pendStart = s
+	if s > 1024 && s > len(e.pend)/2 {
+		old := e.pend
+		n := copy(old, old[s:])
+		clear(old[n:]) // drop payload refs from the vacated suffix
+		e.pend = old[:n]
+		copy(e.pendDone, e.pendDone[s:])
+		e.pendDone = e.pendDone[:n]
+		e.pendBase += MsgID(s)
+		e.pendStart = 0
+	}
+	return m
+}
+
+// recordEvent appends one finalized receive event per the retention mode.
+// m is the event's trigger message (already resolved by takeDelivery).
+func (e *Engine) recordEvent(ev Event, m Message) {
+	t := e.trace
+	switch e.ret.Mode {
+	case RetainFullMode:
+		pos := len(t.Events)
+		t.Events = append(t.Events, ev)
+		// ev.Index == len(posRows[p]) by construction, so this appends the
+		// dense per-process index row.
+		e.posRows[ev.Proc] = append(e.posRows[ev.Proc], int32(pos))
+	case RetainWindowMode:
+		t.totalEvents++
+		t.digest.foldEvent(&ev)
+		t.Events = append(t.Events, ev)
+		t.Msgs = append(t.Msgs, m) // parallel trigger store
+		if k := e.ret.Window; len(t.Events) >= 2*k {
+			// Slide: keep the most recent k, amortized O(1) per event.
+			drop := len(t.Events) - k
+			n := copy(t.Events, t.Events[drop:])
+			clear(t.Events[n:])
+			t.Events = t.Events[:n]
+			n = copy(t.Msgs, t.Msgs[drop:])
+			clear(t.Msgs[n:])
+			t.Msgs = t.Msgs[:n]
+			t.firstEvent += drop
+		}
+	case RetainNoneMode:
+		t.totalEvents++
+		t.digest.foldEvent(&ev)
+	}
+	if e.cb != nil {
+		// Copy for the interface call, as in recordMessage.
+		cev := ev
+		e.cb.Event(&cev)
+	}
 }
 
 func (e *Engine) loop(maxEvents int) (truncated bool) {
 	for e.queue.len() > 0 {
-		if len(e.trace.Events) >= maxEvents {
+		if e.trace.TotalEvents() >= maxEvents {
 			return true
 		}
 		d := e.queue.pop()
-		m := e.trace.Msgs[d.msg]
+		m := e.takeDelivery(d)
 		if e.cfg.MaxTime.Sign() > 0 && m.RecvTime.Greater(e.cfg.MaxTime) {
 			return true
 		}
@@ -272,7 +459,10 @@ func (e *Engine) loop(maxEvents int) (truncated bool) {
 		e.eventCount[p]++
 
 		if !crashed {
-			env := Env{
+			// The step environment is pooled: one Env lives in the Engine
+			// and is re-initialized per step, so the interface call's
+			// escape of &e.env costs nothing on the hot path.
+			e.env = Env{
 				self:      p,
 				n:         e.cfg.N,
 				stepIndex: e.stepCount[p],
@@ -280,23 +470,19 @@ func (e *Engine) loop(maxEvents int) (truncated bool) {
 				links:     e.links,
 				out:       e.out[:0],
 			}
-			e.procs[p].Step(&env, m)
+			e.procs[p].Step(&e.env, m)
 			e.stepCount[p]++
 			ev.Processed = true
-			ev.Note = env.note
-			for _, out := range env.out {
+			ev.Note = e.env.note
+			for _, out := range e.env.out {
 				e.sendMessage(p, ev.Index, m.RecvTime, out.to, out.payload)
 			}
 			// Keep the (possibly grown) send buffer, cleared of payload
 			// references so pooled storage does not pin process data.
-			e.out = env.out[:0]
-			clearSends(env.out)
+			e.out = e.env.out[:0]
+			clearSends(e.env.out)
 		}
-		pos := len(e.trace.Events)
-		e.trace.Events = append(e.trace.Events, ev)
-		// ev.Index == len(eventPos[p]) by construction, so this appends the
-		// dense per-process index row.
-		e.trace.eventPos[p] = append(e.trace.eventPos[p], int32(pos))
+		e.recordEvent(ev, m)
 
 		if e.cfg.Monitor != nil {
 			if err := e.cfg.Monitor(e.trace); err != nil {

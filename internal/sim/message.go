@@ -85,9 +85,15 @@ type Event struct {
 	Note any
 }
 
-// Trace is the complete record of one execution: all receive events in
-// their global delivery order and all messages. It is the input to
-// causality.Build.
+// Trace is the record of one execution: receive events in their global
+// delivery order and messages. Under the default full retention
+// (Config.Sink nil or RetainAll) it is complete — every event and
+// message, the input to causality.Build. Under bounded retention
+// (RetainWindow, RetainNone) Events and Msgs hold only the retained
+// suffix (or nothing) while TotalEvents/TotalMsgs/StreamHash still
+// describe the whole run; consumers must go through EventByPos/TriggerOf
+// instead of indexing the slices absolutely, and Complete reports which
+// regime a trace is in.
 type Trace struct {
 	N      int
 	Events []Event
@@ -99,8 +105,113 @@ type Trace struct {
 	// event. Dense per-process rows replace the former (proc, index) hash
 	// map: the engine appends one entry per recorded event, and EventAt is
 	// two bounds checks and a load. int32 positions are ample — traces are
-	// memory-bound far below 2^31 events.
+	// memory-bound far below 2^31 events. Bounded-retention traces do not
+	// maintain it (positions slide).
 	eventPos [][]int32
+
+	// Bounded-retention bookkeeping; zero values describe a complete
+	// trace, so hand-built and reassembled traces need no setup. Under
+	// RetainWindowMode, Events is the sliding window and Msgs is parallel
+	// to it — Msgs[i] is the trigger message of Events[i], not the
+	// ID-indexed message table — with firstEvent the absolute position of
+	// Events[0]. Under RetainNoneMode both slices stay empty.
+	mode        RetentionMode
+	firstEvent  int
+	totalEvents int
+	totalMsgs   int
+	digest      streamDigest
+}
+
+// Complete reports whether the trace retains the full execution record —
+// Events and Msgs hold everything and may be indexed absolutely. Only
+// complete traces may feed causality.Build, Hash, WriteJSON, and the
+// per-process index accessors.
+func (t *Trace) Complete() bool { return t.mode == RetainFullMode }
+
+// Retention returns the trace's retention mode.
+func (t *Trace) Retention() RetentionMode { return t.mode }
+
+// TotalEvents returns the number of receive events the run recorded,
+// including any discarded by bounded retention.
+func (t *Trace) TotalEvents() int {
+	if t.mode == RetainFullMode {
+		return len(t.Events)
+	}
+	return t.totalEvents
+}
+
+// TotalMsgs returns the number of messages the run sent (wake-ups
+// included), including any not retained.
+func (t *Trace) TotalMsgs() int {
+	if t.mode == RetainFullMode {
+		return len(t.Msgs)
+	}
+	return t.totalMsgs
+}
+
+// FirstRetained returns the absolute position of the earliest retained
+// event: 0 for complete traces, the window start under window retention.
+// (Under RetainNoneMode Events is always empty, so the value is unused.)
+func (t *Trace) FirstRetained() int {
+	if t.mode == RetainFullMode {
+		return 0
+	}
+	return t.firstEvent
+}
+
+// EventByPos returns the event at absolute trace position pos, with
+// ok = false when pos is out of range or the event was discarded by
+// bounded retention.
+func (t *Trace) EventByPos(pos int) (Event, bool) {
+	i := pos - t.FirstRetained()
+	if i < 0 || i >= len(t.Events) {
+		return Event{}, false
+	}
+	return t.Events[i], true
+}
+
+// TriggerOf returns the trigger message of the event at absolute trace
+// position pos, with ok = false when the event or its message is not
+// retained (or the trigger dangles).
+func (t *Trace) TriggerOf(pos int) (Message, bool) {
+	i := pos - t.FirstRetained()
+	if i < 0 || i >= len(t.Events) {
+		return Message{}, false
+	}
+	if t.mode == RetainWindowMode {
+		// Msgs is parallel to Events under window retention.
+		if i >= len(t.Msgs) {
+			return Message{}, false
+		}
+		return t.Msgs[i], true
+	}
+	tr := t.Events[i].Trigger
+	if tr < 0 || int(tr) >= len(t.Msgs) {
+		return Message{}, false
+	}
+	return t.Msgs[tr], true
+}
+
+// StreamHash returns the FNV-64a digest of the run's event and message
+// streams (structure and exact times; payloads and notes excluded — see
+// streamDigest). It is maintained incrementally under bounded retention
+// and computed on demand for complete traces, so runs of the same Config
+// under different retention modes hash equal. It is unrelated to Hash,
+// which digests the canonical JSON of a complete trace including
+// payloads.
+func (t *Trace) StreamHash() uint64 {
+	if t.mode != RetainFullMode {
+		return t.digest.sum()
+	}
+	var d streamDigest
+	d.init()
+	for i := range t.Events {
+		d.foldEvent(&t.Events[i])
+	}
+	for i := range t.Msgs {
+		d.foldMessage(&t.Msgs[i])
+	}
+	return d.sum()
 }
 
 // EventAt returns the position in Events of process p's index-th receive
@@ -132,8 +243,24 @@ func (t *Trace) indexEvents() {
 }
 
 // EventsOf returns the positions (into Events) of all receive events at p,
-// in order.
+// in order. With the dense per-process index present (every engine- or
+// builder-produced trace) it is O(events of p) instead of an O(E) scan;
+// bare trace shells without the index fall back to scanning.
 func (t *Trace) EventsOf(p ProcessID) []int {
+	if t.eventPos != nil {
+		if p < 0 || int(p) >= len(t.eventPos) {
+			return nil
+		}
+		row := t.eventPos[p]
+		if len(row) == 0 {
+			return nil
+		}
+		out := make([]int, len(row))
+		for i, pos := range row {
+			out[i] = int(pos)
+		}
+		return out
+	}
 	var out []int
 	for i, ev := range t.Events {
 		if ev.Proc == p {
@@ -144,9 +271,21 @@ func (t *Trace) EventsOf(p ProcessID) []int {
 }
 
 // StepCount returns the number of computing steps process p executed
-// (receive events with Processed == true).
+// (receive events with Processed == true). Like EventsOf it walks the
+// dense per-process index row when present instead of all of Events.
 func (t *Trace) StepCount(p ProcessID) int {
 	n := 0
+	if t.eventPos != nil {
+		if p < 0 || int(p) >= len(t.eventPos) {
+			return 0
+		}
+		for _, pos := range t.eventPos[p] {
+			if t.Events[pos].Processed {
+				n++
+			}
+		}
+		return n
+	}
 	for _, ev := range t.Events {
 		if ev.Proc == p && ev.Processed {
 			n++

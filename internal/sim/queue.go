@@ -1,9 +1,8 @@
 package sim
 
 import (
-	"container/heap"
 	"math"
-	"sort"
+	"slices"
 )
 
 // delivery is a scheduled message reception. key is the float64 image of
@@ -25,6 +24,24 @@ func (d delivery) before(o delivery) bool {
 		return c < 0
 	}
 	return d.seq < o.seq
+}
+
+// cmpDelivery is the (key, at, seq) comparison for slices.SortFunc: the
+// cached float key decides almost every comparison in one branch, falling
+// back to the exact rational comparison only on float ties. seq is unique
+// per delivery, so the order is total and every correct sort produces the
+// identical sequence.
+func cmpDelivery(a, b delivery) int {
+	switch {
+	case a.key < b.key:
+		return -1
+	case a.key > b.key:
+		return 1
+	case a.before(b):
+		return -1
+	default:
+		return 1
+	}
 }
 
 // deliveryKey clamps the monotone float64 image of t into the finite
@@ -51,42 +68,93 @@ type eventQueue interface {
 	len() int
 }
 
-// heapQueue is a min-heap ordered by (key, at, seq): the cached float key
-// decides almost every comparison in one branch, falling back to the exact
-// rational comparison only on float ties.
+// heapQueue is a hand-rolled binary min-heap ordered by (key, at, seq).
+// It deliberately avoids container/heap: boxing every delivery through
+// the heap.Interface `any` parameters cost one allocation per push and
+// pop, which at sparse scale was a measurable slice of the engine's
+// allocation volume. Pop order is the unique (at, seq) total order, so
+// the heap's internal layout never influences results.
 type heapQueue []delivery
 
-func (q heapQueue) Len() int { return len(q) }
-
-func (q heapQueue) Less(i, j int) bool {
+func (q heapQueue) less(i, j int) bool {
 	if q[i].key != q[j].key {
 		return q[i].key < q[j].key
 	}
 	return q[i].before(q[j])
 }
 
-func (q heapQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *heapQueue) push(d delivery) {
+	*q = append(*q, d)
+	q.up(len(*q) - 1)
+}
 
-func (q *heapQueue) Push(x any) { *q = append(*q, x.(delivery)) }
-
-func (q *heapQueue) Pop() any {
-	old := *q
-	n := len(old)
-	d := old[n-1]
-	*q = old[:n-1]
+func (q *heapQueue) pop() delivery {
+	h := *q
+	n := len(h) - 1
+	h[0], h[n] = h[n], h[0]
+	d := h[n]
+	*q = h[:n]
+	if n > 0 {
+		h[:n].down(0)
+	}
 	return d
 }
 
-func (q *heapQueue) push(d delivery) { heap.Push(q, d) }
-
-func (q *heapQueue) pop() delivery { return heap.Pop(q).(delivery) }
-
 func (q *heapQueue) len() int { return len(*q) }
 
-// bucketQueueBuckets is the window size of the calendar. 1024 buckets keep
-// the per-window rebuild cost trivial while making the expected bucket
-// population a handful of deliveries at N ≈ 10^5.
-const bucketQueueBuckets = 1024
+func (q heapQueue) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			return
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+}
+
+func (q heapQueue) down(i int) {
+	n := len(q)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		j := l
+		if r := l + 1; r < n && q.less(r, l) {
+			j = r
+		}
+		if !q.less(j, i) {
+			return
+		}
+		q[i], q[j] = q[j], q[i]
+		i = j
+	}
+}
+
+// Calendar sizing. The wheel starts at 1024 buckets and grows with the
+// system size (one bucket per two processes, capped) so the expected
+// bucket population stays a handful of deliveries from N ≈ 10^3 to 10^6.
+// Bucket count is pure performance tuning: routing is monotone in the
+// float key at any width, so the pop order — and therefore every trace —
+// is identical for any wheel size.
+const (
+	bucketQueueMinBuckets = 1024
+	bucketQueueMaxBuckets = 1 << 19
+	// bucketSortThreshold is the run length above which the drain sort
+	// radix-refines by float key before the exact comparison sort; below
+	// it a plain comparison sort of a handful of items wins.
+	bucketSortThreshold = 64
+)
+
+// bucketsFor returns the wheel size for a system of n processes.
+func bucketsFor(n int) int {
+	b := bucketQueueMinBuckets
+	for b < bucketQueueMaxBuckets && b < n/2 {
+		b <<= 1
+	}
+	return b
+}
 
 // bucketQueue is a calendar ("event wheel") queue: deliveries are binned
 // by their float key into a window of equal-width buckets; the bucket
@@ -103,6 +171,15 @@ const bucketQueueBuckets = 1024
 // comparison. Pushes during a drain always belong at or after the current
 // position because the engine only schedules at or after the time it is
 // currently delivering.
+//
+// Degenerate windows are the wheel's failure mode: when the overflow's
+// keys span nothing at rebuild time (every wake-up at t = 0) the width
+// falls back to 1 and the whole run can land in a handful of buckets,
+// turning each drain into a sort of 10^5+ deliveries. sortRun handles
+// that case by radix-refining oversized runs on the float key — an O(m)
+// distribution pass into per-drain bins, recursively, before the exact
+// sort of each small bin — so the drain cost stays near-linear however
+// badly the window width guessed.
 type bucketQueue struct {
 	buckets [][]delivery
 	over    heapQueue // beyond the window (or before it is primed)
@@ -114,16 +191,23 @@ type bucketQueue struct {
 	cur    []delivery
 	curIdx int
 
+	// radix-refinement scratch, recycled across drains.
+	bins [][]delivery
+
 	size   int
 	primed bool
 }
 
 func newBucketQueue() *bucketQueue {
-	return &bucketQueue{buckets: make([][]delivery, bucketQueueBuckets)}
+	return &bucketQueue{buckets: make([][]delivery, bucketQueueMinBuckets)}
 }
 
-// reset clears the queue for reuse, retaining bucket storage.
-func (q *bucketQueue) reset() {
+// reset clears the queue for reuse, retaining bucket storage. n is the
+// system size the next run schedules for; the wheel grows to match.
+func (q *bucketQueue) reset(n int) {
+	if want := bucketsFor(n); want > len(q.buckets) {
+		q.buckets = make([][]delivery, want)
+	}
 	for i := range q.buckets {
 		q.buckets[i] = q.buckets[i][:0]
 	}
@@ -156,7 +240,7 @@ func (q *bucketQueue) push(d delivery) {
 	case o < float64(q.bkt):
 		// Belongs to already-drained territory: merge into the exact run.
 		q.insertCur(d)
-	case o < bucketQueueBuckets:
+	case o < float64(len(q.buckets)):
 		i := int(o)
 		q.buckets[i] = append(q.buckets[i], d)
 	default:
@@ -170,12 +254,18 @@ func (q *bucketQueue) push(d delivery) {
 // schedule earlier than the reception being processed and seq grows
 // monotonically.
 func (q *bucketQueue) insertCur(d delivery) {
-	i := q.curIdx + sort.Search(len(q.cur)-q.curIdx, func(i int) bool {
-		return d.before(q.cur[q.curIdx+i])
-	})
+	lo, hi := q.curIdx, len(q.cur)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if d.before(q.cur[mid]) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
 	q.cur = append(q.cur, delivery{})
-	copy(q.cur[i+1:], q.cur[i:])
-	q.cur[i] = d
+	copy(q.cur[lo+1:], q.cur[lo:])
+	q.cur[lo] = d
 }
 
 func (q *bucketQueue) pop() delivery {
@@ -194,33 +284,95 @@ func (q *bucketQueue) pop() delivery {
 func (q *bucketQueue) advance() {
 	q.cur = q.cur[:0]
 	q.curIdx = 0
-	for q.bkt < bucketQueueBuckets {
+	for q.bkt < len(q.buckets) {
 		b := q.bkt
 		q.bkt++
 		if len(q.buckets[b]) > 0 {
 			q.cur = append(q.cur, q.buckets[b]...)
 			q.buckets[b] = q.buckets[b][:0]
-			sort.Slice(q.cur, func(i, j int) bool { return q.cur[i].before(q.cur[j]) })
+			q.sortRun()
 			return
 		}
 	}
 	q.rebuild()
 }
 
+// sortRun orders q.cur by the exact (at, seq) order. Small runs sort
+// directly; oversized runs — the product of a degenerate window width —
+// are first distributed into ~len/4 bins by float key (monotone, so bin
+// order respects the exact order and only bin-mates need comparing), then
+// each bin is sorted and copied back over the run in bin order. The
+// distribution pass is O(m); key-identical runs (where no float width can
+// discriminate) fall through to the comparison sort, which resolves them
+// on the cheap seq tie-break.
+func (q *bucketQueue) sortRun() {
+	run := q.cur
+	if len(run) <= bucketSortThreshold {
+		slices.SortFunc(run, cmpDelivery)
+		return
+	}
+	lo, hi := run[0].key, run[0].key
+	for _, d := range run[1:] {
+		if d.key < lo {
+			lo = d.key
+		}
+		if d.key > hi {
+			hi = d.key
+		}
+	}
+	nbins := bucketSortBins(len(run))
+	width := (hi - lo) / float64(nbins-1)
+	if !(width > 0) || math.IsInf(width, 0) {
+		// Keys indistinguishable (or span overflow): comparison sort
+		// settles it on (at, seq).
+		slices.SortFunc(run, cmpDelivery)
+		return
+	}
+	if len(q.bins) < nbins {
+		q.bins = make([][]delivery, nbins)
+	}
+	for _, d := range run {
+		b := int((d.key - lo) / width)
+		q.bins[b] = append(q.bins[b], d)
+	}
+	pos := 0
+	for i := 0; i < nbins; i++ {
+		bin := q.bins[i]
+		if len(bin) == 0 {
+			continue
+		}
+		slices.SortFunc(bin, cmpDelivery)
+		pos += copy(run[pos:], bin)
+		q.bins[i] = bin[:0]
+	}
+}
+
+// bucketSortBins picks the refinement bin count: about a quarter of the
+// run length, clamped so the scratch table stays modest and small runs
+// still spread.
+func bucketSortBins(m int) int {
+	n := 256
+	for n < 1<<16 && n < m/4 {
+		n <<= 1
+	}
+	return n
+}
+
 // rebuild starts a fresh window at the overflow minimum. The width spreads
 // the overflow's key span across the buckets; degenerate spans (all keys
 // equal, or spans that overflow float64) fall back to width 1, which
-// degrades to sorted-run behavior but stays exact.
+// degrades to sorted-run behavior but stays exact — sortRun's radix
+// refinement keeps even that case near-linear.
 func (q *bucketQueue) rebuild() {
 	q.primed = true
 	q.base = q.over[0].key
-	q.width = (q.overMax - q.base) / (bucketQueueBuckets - 1)
+	q.width = (q.overMax - q.base) / float64(len(q.buckets)-1)
 	if !(q.width > 0) || math.IsInf(q.width, 0) {
 		q.width = 1
 	}
 	for len(q.over) > 0 {
 		o := (q.over[0].key - q.base) / q.width
-		if !(o < bucketQueueBuckets) {
+		if !(o < float64(len(q.buckets))) {
 			break
 		}
 		d := q.over.pop()

@@ -43,6 +43,13 @@ type Config struct {
 	Monitor func(t *Trace) error
 	// StartTimes optionally staggers wake-up times; nil means all zero.
 	StartTimes []Time
+	// Sink, when non-nil, observes each finalized Event and Message and
+	// selects the trace-retention policy (see RetainAll, RetainWindow,
+	// RetainNone). nil keeps the complete trace — identical to the
+	// pre-sink engine. Bounded retention trades Trace completeness for
+	// memory: see Trace.Complete and the TotalEvents/StreamHash
+	// accessors, which work in every mode.
+	Sink Sink
 }
 
 // Result of a run.

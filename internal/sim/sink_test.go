@@ -1,0 +1,232 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/rat"
+)
+
+// sinkTestConfig is a mid-size broadcast run with a crash fault, so the
+// record contains processed and unprocessed events, wake-ups, and real
+// traffic — everything the digest folds.
+func sinkTestConfig() Config {
+	return Config{
+		N:      6,
+		Spawn:  broadcastSpawn(5),
+		Faults: map[ProcessID]Fault{5: {CrashAfter: 2}},
+		Delays: UniformDelay{Min: rat.One, Max: rat.New(3, 2)},
+		Seed:   7,
+	}
+}
+
+func TestParseRetention(t *testing.T) {
+	good := map[string]Retention{
+		"":          {Mode: RetainFullMode},
+		"full":      {Mode: RetainFullMode},
+		"none":      {Mode: RetainNoneMode},
+		"window/1":  {Mode: RetainWindowMode, Window: 1},
+		"window/64": {Mode: RetainWindowMode, Window: 64},
+	}
+	for spec, want := range good {
+		s, err := ParseRetention(spec)
+		if err != nil {
+			t.Fatalf("ParseRetention(%q): %v", spec, err)
+		}
+		if s.Retention() != want {
+			t.Fatalf("ParseRetention(%q) = %+v, want %+v", spec, s.Retention(), want)
+		}
+	}
+	for _, spec := range []string{"window/0", "window/-3", "window/", "window/x", "ring", "Full"} {
+		if _, err := ParseRetention(spec); err == nil {
+			t.Fatalf("ParseRetention(%q): want error", spec)
+		}
+	}
+}
+
+// TestRetentionEquivalence is the sink-equivalence contract at the engine
+// level: the same Config run under full, window, and none retention agrees
+// on every total and on the stream digest, and the window's retained
+// suffix is exactly the tail of the complete record.
+func TestRetentionEquivalence(t *testing.T) {
+	cfg := sinkTestConfig()
+	full, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft := full.Trace
+	if !ft.Complete() || ft.Retention() != RetainFullMode {
+		t.Fatalf("default run not complete (retention %v)", ft.Retention())
+	}
+	if ft.TotalEvents() != len(ft.Events) || ft.TotalMsgs() != len(ft.Msgs) {
+		t.Fatalf("complete totals (%d, %d) != lengths (%d, %d)",
+			ft.TotalEvents(), ft.TotalMsgs(), len(ft.Events), len(ft.Msgs))
+	}
+	if len(ft.Events) < 40 {
+		t.Fatalf("test run too small: %d events", len(ft.Events))
+	}
+
+	const k = 16
+	engine := NewEngine() // shared engine: also exercises cross-mode reuse
+	for _, tc := range []struct {
+		name string
+		sink Sink
+	}{
+		{"retain-all-sink", RetainAll()},
+		{"window", RetainWindow(k)},
+		{"none", RetainNone()},
+	} {
+		cfg := sinkTestConfig()
+		cfg.Sink = tc.sink
+		res, err := engine.Run(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		bt := res.Trace
+		if bt.TotalEvents() != ft.TotalEvents() || bt.TotalMsgs() != ft.TotalMsgs() {
+			t.Fatalf("%s: totals (%d, %d), want (%d, %d)",
+				tc.name, bt.TotalEvents(), bt.TotalMsgs(), ft.TotalEvents(), ft.TotalMsgs())
+		}
+		if bt.StreamHash() != ft.StreamHash() {
+			t.Fatalf("%s: stream hash %016x, want %016x", tc.name, bt.StreamHash(), ft.StreamHash())
+		}
+		if res.Truncated != full.Truncated {
+			t.Fatalf("%s: truncated %v, want %v", tc.name, res.Truncated, full.Truncated)
+		}
+		switch bt.Retention() {
+		case RetainFullMode:
+			if ft.Hash() != bt.Hash() {
+				t.Fatalf("%s: complete trace hash diverged", tc.name)
+			}
+		case RetainWindowMode:
+			if len(bt.Events) < k || len(bt.Events) >= 2*k {
+				t.Fatalf("window holds %d events, want within [%d, %d)", len(bt.Events), k, 2*k)
+			}
+			if len(bt.Msgs) != len(bt.Events) {
+				t.Fatalf("window Msgs length %d, want parallel to Events %d", len(bt.Msgs), len(bt.Events))
+			}
+			first := bt.FirstRetained()
+			if first+len(bt.Events) != bt.TotalEvents() {
+				t.Fatalf("window [%d, %d) does not end at total %d", first, first+len(bt.Events), bt.TotalEvents())
+			}
+			for pos := first; pos < bt.TotalEvents(); pos++ {
+				ev, ok := bt.EventByPos(pos)
+				if !ok {
+					t.Fatalf("window: event %d not retrievable", pos)
+				}
+				if want := ft.Events[pos]; ev != want {
+					t.Fatalf("window event %d = %+v, want %+v", pos, ev, want)
+				}
+				m, ok := bt.TriggerOf(pos)
+				if !ok {
+					t.Fatalf("window: trigger of %d not retrievable", pos)
+				}
+				if want := ft.Msgs[ft.Events[pos].Trigger]; m != want {
+					t.Fatalf("window trigger %d = %+v, want %+v", pos, m, want)
+				}
+			}
+			if _, ok := bt.EventByPos(first - 1); ok {
+				t.Fatal("window: evicted event still retrievable")
+			}
+		case RetainNoneMode:
+			if len(bt.Events) != 0 || len(bt.Msgs) != 0 {
+				t.Fatalf("none retained %d events, %d messages", len(bt.Events), len(bt.Msgs))
+			}
+			if _, ok := bt.EventByPos(0); ok {
+				t.Fatal("none: EventByPos(0) succeeded")
+			}
+		}
+	}
+
+	// The shared engine must still produce byte-identical full traces
+	// after bounded-mode runs (hermeticity across retention modes).
+	again, err := engine.Run(sinkTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Trace.Hash() != ft.Hash() {
+		t.Fatal("full-retention trace changed after bounded-mode engine reuse")
+	}
+}
+
+// recordingSink counts callbacks and checks stream positions.
+type recordingSink struct {
+	r      Retention
+	events int
+	msgs   int
+	lastID MsgID
+}
+
+func (s *recordingSink) Retention() Retention { return s.r }
+func (s *recordingSink) Event(*Event)         { s.events++ }
+func (s *recordingSink) Message(m *Message) {
+	if s.msgs > 0 && m.ID != s.lastID+1 {
+		panic("messages observed out of ID order")
+	}
+	s.lastID = m.ID
+	s.msgs++
+}
+
+func TestCustomSinkObservesEverything(t *testing.T) {
+	for _, r := range []Retention{
+		{Mode: RetainFullMode},
+		{Mode: RetainWindowMode, Window: 8},
+		{Mode: RetainNoneMode},
+	} {
+		sink := &recordingSink{r: r}
+		cfg := sinkTestConfig()
+		cfg.Sink = sink
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", r.Mode, err)
+		}
+		if sink.events != res.Trace.TotalEvents() {
+			t.Fatalf("%v: sink saw %d events, trace has %d", r.Mode, sink.events, res.Trace.TotalEvents())
+		}
+		if sink.msgs != res.Trace.TotalMsgs() {
+			t.Fatalf("%v: sink saw %d messages, trace has %d", r.Mode, sink.msgs, res.Trace.TotalMsgs())
+		}
+	}
+}
+
+func TestRetentionConfigErrors(t *testing.T) {
+	cfg := sinkTestConfig()
+	cfg.Sink = RetainWindow(0)
+	if _, err := Run(cfg); err == nil || !strings.Contains(err.Error(), "Window") {
+		t.Fatalf("window 0: err = %v, want Window error", err)
+	}
+	cfg = sinkTestConfig()
+	cfg.Sink = RetainNone()
+	cfg.Monitor = func(*Trace) error { return nil }
+	if _, err := Run(cfg); err == nil || !strings.Contains(err.Error(), "Monitor") {
+		t.Fatalf("monitor+none: err = %v, want Monitor error", err)
+	}
+}
+
+// TestEventsOfIndexedMatchesScan pins the dense-row fast path of EventsOf
+// and StepCount against the legacy O(E) scan they replaced.
+func TestEventsOfIndexedMatchesScan(t *testing.T) {
+	res, err := Run(sinkTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := res.Trace
+	if tr.eventPos == nil {
+		t.Fatal("engine trace lacks the event index")
+	}
+	shell := &Trace{N: tr.N, Events: tr.Events, Msgs: tr.Msgs, Faulty: tr.Faulty}
+	for p := ProcessID(0); int(p) < tr.N; p++ {
+		fast, slow := tr.EventsOf(p), shell.EventsOf(p)
+		if len(fast) != len(slow) {
+			t.Fatalf("p%d: indexed EventsOf has %d entries, scan %d", p, len(fast), len(slow))
+		}
+		for i := range fast {
+			if fast[i] != slow[i] {
+				t.Fatalf("p%d: EventsOf[%d] = %d (indexed) vs %d (scan)", p, i, fast[i], slow[i])
+			}
+		}
+		if a, b := tr.StepCount(p), shell.StepCount(p); a != b {
+			t.Fatalf("p%d: StepCount %d (indexed) vs %d (scan)", p, a, b)
+		}
+	}
+}

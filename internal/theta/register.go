@@ -19,14 +19,16 @@ func init() {
 	workload.Register(workload.Source{
 		Name: "theta",
 		Doc:  "Θ-Model executions (delays within [base, base·Θ]) with the Theorem 6 containment verdict",
-		Params: []workload.Param{
+		Params: append([]workload.Param{
 			{Name: "n", Kind: workload.Int, Default: "4", Doc: "number of processes"},
 			{Name: "steps", Kind: workload.Int, Default: "4", Doc: "broadcasting steps per process"},
 			{Name: "base", Kind: workload.Rational, Default: "1", Doc: "minimum end-to-end delay τ−"},
 			{Name: "theta", Kind: workload.Rational, Default: "7/4", Doc: "Θ bound on the delay ratio τ+/τ−"},
 			{Name: "xi", Kind: workload.Rational, Default: "2", Doc: "model parameter Ξ for the ABC check"},
 			{Name: "maxevents", Kind: workload.Int, Default: "0", Doc: "receive-event budget (0 = simulator default)"},
-		},
+		}, workload.TraceParams()...),
+		// CheckStatic scans every recorded message's realized delay.
+		VerdictNeedsTrace: true,
 		Job: func(v workload.Values, seed int64) (runner.Job, error) {
 			base, th := v.Rat("base"), v.Rat("theta")
 			if base.Sign() <= 0 {

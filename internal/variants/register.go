@@ -21,7 +21,7 @@ func init() {
 	workload.Register(workload.Source{
 		Name: "variants",
 		Doc:  "◇ABC eventual lock-step via doubling rounds (Section 6): chaos until the switch, stability after",
-		Params: []workload.Param{
+		Params: append([]workload.Param{
 			{Name: "n", Kind: workload.Int, Default: "4", Doc: "number of processes (n >= 3f+1)"},
 			{Name: "f", Kind: workload.Int, Default: "1", Doc: "Byzantine fault bound"},
 			{Name: "x0", Kind: workload.Int64, Default: "2", Doc: "initial round length in phases (round r lasts x0·2^r)"},
@@ -31,7 +31,7 @@ func init() {
 			{Name: "min", Kind: workload.Rational, Default: "1", Doc: "minimum delay after the switch"},
 			{Name: "max", Kind: workload.Rational, Default: "3/2", Doc: "maximum delay after the switch"},
 			{Name: "maxevents", Kind: workload.Int, Default: "300000", Doc: "receive-event budget"},
-		},
+		}, workload.TraceParams()...),
 		Job: func(v workload.Values, seed int64) (runner.Job, error) {
 			n, f := v.Int("n"), v.Int("f")
 			if f < 0 || n < 3*f+1 {

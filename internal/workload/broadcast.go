@@ -7,15 +7,16 @@ import (
 
 // BroadcastSpawner returns the canonical traffic generator shared by the
 // broadcast and theta workloads: every process broadcasts its step index
-// on each of its first steps steps.
+// on each of its first steps steps. The generator is stateless, so one
+// ProcessFunc is shared by all N processes — at sparse scale a fresh
+// closure per process is a visible slice of a run's allocations.
 func BroadcastSpawner(steps int) func(sim.ProcessID) sim.Process {
-	return func(sim.ProcessID) sim.Process {
-		return sim.ProcessFunc(func(env *sim.Env, msg sim.Message) {
-			if env.StepIndex() < steps {
-				env.Broadcast(env.StepIndex())
-			}
-		})
-	}
+	proc := sim.ProcessFunc(func(env *sim.Env, msg sim.Message) {
+		if env.StepIndex() < steps {
+			env.Broadcast(env.StepIndex())
+		}
+	})
+	return func(sim.ProcessID) sim.Process { return proc }
 }
 
 // The broadcast workload is the registry's built-in minimal scenario:
@@ -35,7 +36,7 @@ func init() {
 			{Name: "min", Kind: Rational, Default: "1", Doc: "minimum message delay"},
 			{Name: "max", Kind: Rational, Default: "3/2", Doc: "maximum message delay"},
 			{Name: "maxevents", Kind: Int, Default: "0", Doc: "receive-event budget (0 = simulator default)"},
-		}, append(TopologyParams(), FaultParams()...)...),
+		}, append(TopologyParams(), append(FaultParams(), TraceParams()...)...)...),
 		Job: func(v Values, seed int64) (runner.Job, error) {
 			topo, err := ResolveTopology(v, v.Int("n"))
 			if err != nil {

@@ -30,6 +30,7 @@ import (
 
 	"repro/internal/rat"
 	"repro/internal/runner"
+	"repro/internal/sim"
 )
 
 // Kind is the type of a workload parameter.
@@ -196,6 +197,12 @@ type Source struct {
 	// completed job result. It is wired into runner.Job.Post by Jobs, so
 	// failures land in JobResult.CheckErr and runner.Stats.CheckFailed.
 	Verdict func(v Values, r *runner.JobResult) error
+	// VerdictNeedsTrace declares that Verdict reads the recorded events,
+	// messages, or execution graph, so it cannot run under bounded trace
+	// retention. Resolve rejects trace=window/K and trace=none for such
+	// sources. Verdicts that inspect only fault flags and final process
+	// states leave it false and keep working in every retention mode.
+	VerdictNeedsTrace bool
 }
 
 // Resolve validates overrides against the parameter space and fills
@@ -223,7 +230,18 @@ func (s Source) Resolve(overrides map[string]string) (Values, error) {
 			return Values{}, fmt.Errorf("workload: %s has no param %q (have %v)", s.Name, name, s.paramNames())
 		}
 	}
-	return Values{source: s.Name, params: s.Params, vals: vals}, nil
+	v := Values{source: s.Name, params: s.Params, vals: vals}
+	if v.Has("trace") {
+		_, ret, err := ResolveRetention(v)
+		if err != nil {
+			return Values{}, err
+		}
+		if ret.Mode != sim.RetainFullMode && s.VerdictNeedsTrace {
+			return Values{}, fmt.Errorf("workload: %s: its domain verdict reads the recorded trace, which trace=%s discards; use trace=full",
+				s.Name, v.String("trace"))
+		}
+	}
+	return v, nil
 }
 
 func (s Source) paramNames() []string {
@@ -254,8 +272,26 @@ type JobOptions struct {
 	NoVerdict bool
 }
 
-// decorate applies sweep options and the domain verdict to one job.
-func (s Source) decorate(job runner.Job, v Values, opt JobOptions) runner.Job {
+// decorate applies sweep options, the trace-retention sink, and the
+// domain verdict to one job. Bounded retention restricts the decoration:
+// watching (the incremental checker) works on a window but not on
+// trace=none, and the batch Xi / critical-ratio analyses — which replay
+// the complete trace — are silently skipped rather than handed a trace
+// that cannot support them.
+func (s Source) decorate(job runner.Job, v Values, opt JobOptions) (runner.Job, error) {
+	ret := sim.Retention{Mode: sim.RetainFullMode}
+	if job.Cfg != nil {
+		sink, r, err := ResolveRetention(v)
+		if err != nil {
+			return runner.Job{}, err
+		}
+		if sink != nil && r.Mode != sim.RetainFullMode {
+			ret = r
+			cfg := *job.Cfg
+			cfg.Sink = sink
+			job.Cfg = &cfg
+		}
+	}
 	if opt.Xi.Sign() > 0 {
 		job.Xi = opt.Xi
 	} else if job.Xi.Sign() <= 0 && v.Has("xi") {
@@ -267,11 +303,24 @@ func (s Source) decorate(job runner.Job, v Values, opt JobOptions) runner.Job {
 	if opt.Ratio {
 		job.Ratio = true
 	}
+	switch ret.Mode {
+	case sim.RetainNoneMode:
+		if job.Watch {
+			return runner.Job{}, fmt.Errorf("workload: %s: watching requires retained events; use trace=full or trace=window/K", s.Name)
+		}
+		job.Xi, job.Ratio = rat.Rat{}, false
+	case sim.RetainWindowMode:
+		if !job.Watch {
+			// Batch analyses need the complete trace; only the incremental
+			// watcher can check admissibility over a sliding window.
+			job.Xi, job.Ratio = rat.Rat{}, false
+		}
+	}
 	if s.Verdict != nil && job.Post == nil && !opt.NoVerdict {
 		verdict, vals := s.Verdict, v
 		job.Post = func(r *runner.JobResult) error { return verdict(vals, r) }
 	}
-	return job
+	return job, nil
 }
 
 // Jobs expands one parameter point across seeds into decorated fleet jobs:
@@ -287,7 +336,9 @@ func (s Source) Jobs(v Values, seeds []int64, opt JobOptions) ([]runner.Job, err
 		if err != nil {
 			return nil, fmt.Errorf("workload: %s seed=%d: %w", s.Name, seed, err)
 		}
-		job = s.decorate(job, v, opt)
+		if job, err = s.decorate(job, v, opt); err != nil {
+			return nil, err
+		}
 		if job.Key == "" {
 			job.Key = fmt.Sprintf("%s/seed=%d", s.Name, seed)
 		}
@@ -321,7 +372,7 @@ func (s Source) Grid(base Values, axes []runner.Axis, seeds []int64, opt JobOpti
 			if err != nil {
 				return runner.Job{}, err
 			}
-			return s.decorate(job, v, opt), nil
+			return s.decorate(job, v, opt)
 		},
 	}
 	return g.Jobs()
