@@ -19,7 +19,7 @@ BENCH_JSON_SCALE = BenchmarkSimulator/topo=ring/^n=1000000$$
 # the trajectory can be diffed.
 BENCH_OUT ?= BENCH_pr6.json
 
-.PHONY: all build vet test race bench bench-smoke bench-json fuzz-smoke fleet-ci fleet-bench incremental-ci workloads-ci topology-ci protocols-ci scale-ci cover ci
+.PHONY: all build vet test race bench bench-smoke bench-json fuzz-smoke fleet-ci fleet-bench incremental-ci workloads-ci topology-ci protocols-ci faults-ci scale-ci cover ci
 
 all: build
 
@@ -63,6 +63,7 @@ bench-json:
 fuzz-smoke:
 	$(GO) test -run=NONE -fuzz=FuzzArith -fuzztime=10s ./internal/rat
 	$(GO) test -run=NONE -fuzz=FuzzParse -fuzztime=10s ./internal/rat
+	$(GO) test -run=NONE -fuzz=FuzzParseFaults -fuzztime=10s ./internal/workload
 
 # fleet-ci mirrors the CI "fleet" job: the golden-trace determinism and
 # engine-hermeticity suites under the race detector with shuffled test
@@ -119,6 +120,17 @@ protocols-ci:
 	$(GO) run ./cmd/abcsim -workload consensus -param algo=floodset -sweep faults=none,crash/1@0,crash/1@2 -runs 2
 	$(GO) run ./cmd/abcsim -workload clocksync -sweep faults=byz/1@20,byz/1@60 -runs 2
 
+# faults-ci mirrors the CI "faults" job: the crash-recovery and
+# lossy-network fault-plane suites (engine down/up + net-fault
+# semantics, grammar resolution, Ω re-election, registry fault cases,
+# retention equivalence under message faults) under the race detector
+# with shuffled order, plus two CLI smokes driving a recovery sweep and
+# a partition sweep end to end.
+faults-ci:
+	$(GO) test -race -shuffle=on -run 'Fault|Recover|Partition|NetFault|Omega|WindowWatch' ./internal/sim ./internal/detector ./internal/workload/...
+	$(GO) run ./cmd/abcsim -workload broadcast -sweep faults=none,recover/1@2..4,partition/halves@2..5 -runs 2
+	$(GO) run ./cmd/abcsim -workload omega -param faults=recover/p0@4..12 -runs 2
+
 # scale-ci mirrors the CI "scale" job: the trace-retention and
 # sink-equivalence suites (engine-level retention equivalence, the
 # registry-wide full/window/none digest agreement, window-watch vs batch
@@ -133,4 +145,4 @@ scale-ci:
 cover:
 	$(GO) test -cover ./internal/runner ./internal/sim
 
-ci: vet race bench-smoke fleet-ci incremental-ci workloads-ci topology-ci protocols-ci scale-ci
+ci: vet race bench-smoke fleet-ci incremental-ci workloads-ci topology-ci protocols-ci faults-ci scale-ci

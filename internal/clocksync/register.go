@@ -56,7 +56,7 @@ func clockSyncJob(v workload.Values, seed int64) (runner.Job, error) {
 	if f < 0 || n < 3*f+1 {
 		return runner.Job{}, fmt.Errorf("clocksync: need n >= 3f+1, got n=%d f=%d", n, f)
 	}
-	faults, err := workload.SharedOrLegacyFaults(v, n, nil,
+	faults, net, err := workload.SharedOrLegacyFaults(v, n, nil,
 		clockSyncByz(v, seed), v.Bool("adversaries"), "adversaries=true",
 		func() map[sim.ProcessID]sim.Fault {
 			advseed := v.Int64("advseed")
@@ -75,6 +75,7 @@ func clockSyncJob(v workload.Values, seed int64) (runner.Job, error) {
 		N:         n,
 		Spawn:     Spawner(n, f),
 		Faults:    faults,
+		Net:       net,
 		Delays:    sim.UniformDelay{Min: v.Rat("min"), Max: v.Rat("max")},
 		Seed:      seed,
 		Until:     AllReached(v.Int("target"), faults),
@@ -90,6 +91,13 @@ func clockSyncJob(v workload.Values, seed int64) (runner.Job, error) {
 // against, which a sweep may have overridden past the xi parameter.
 func clockSyncVerdict(v workload.Values, r *runner.JobResult) error {
 	if !r.CompletedAdmissible(true) {
+		return nil
+	}
+	// The Section 3 theorems assume a reliable network; under message-level
+	// faults only the admissibility verdict stands. Recovered processes
+	// need no special case: they are marked faulty for the whole run and
+	// count against f, so every correct-process claim already skips them.
+	if workload.NetFaulty(v) {
 		return nil
 	}
 	x := r.Xi.MulInt(2).Ceil() // precision bound X = ⌈2Ξ⌉

@@ -123,7 +123,7 @@ func consensusJob(v workload.Values, seed int64) (runner.Job, error) {
 			return runner.Job{}, fmt.Errorf("consensus: floodset tolerates crash faults only (fault spec %q)", v.String("faults"))
 		}
 	}
-	faults, err := workload.ResolveFaults(v, n, nil, byz)
+	faults, net, err := workload.ResolveFaults(v, n, nil, byz)
 	if err != nil {
 		return runner.Job{}, err
 	}
@@ -145,6 +145,7 @@ func consensusJob(v workload.Values, seed int64) (runner.Job, error) {
 		N:         n,
 		Spawn:     lockstep.Spawner(m, n, f, mkApp),
 		Faults:    faults,
+		Net:       net,
 		Delays:    sim.UniformDelay{Min: v.Rat("min"), Max: v.Rat("max")},
 		Seed:      seed,
 		Until:     lockstep.AllReachedRound(rounds, faults),
@@ -161,6 +162,14 @@ func consensusJob(v workload.Values, seed int64) (runner.Job, error) {
 // admissibility (Theorem 5) — runs without an ABC verdict are skipped.
 func consensusVerdict(v workload.Values, r *runner.JobResult) error {
 	if !r.CompletedAdmissible(true) {
+		return nil
+	}
+	// Synchronous consensus presupposes reliable rounds; under message
+	// drops/partitions only the admissibility verdict stands. A recovered
+	// process, in contrast, needs no gate: it counts against f, the trace
+	// marks it faulty for the whole run, and the fault map rebuilt below
+	// therefore excludes it from the agreement/validity quantifiers.
+	if workload.NetFaulty(v) {
 		return nil
 	}
 	input, err := inputFor(v.String("inputs"))

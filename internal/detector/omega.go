@@ -17,13 +17,22 @@ type LeaderMsg struct {
 // OmegaCore is a member of the f+2 core implementing the Ω sketch of
 // Section 6 for crash faults: in repeated phases it queries all other core
 // members and runs timeout chains with each of them in parallel; when any
-// single chain reaches ⌈2Ξ⌉ messages the phase ends, members that did not
-// reply are suspected permanently, the smallest unsuspected core id is
-// chosen as leader, and the choice is broadcast to the whole system.
+// single chain reaches ⌈2Ξ⌉ messages the phase ends, the suspicion set is
+// recomputed from that phase's replies alone, the smallest unsuspected
+// core id is chosen as leader, and the choice is broadcast to the whole
+// system.
 //
-// Because crashes are permanent and the Fig. 3 accuracy argument applies
-// per phase, suspicion is perfect; once the last crash has happened, every
-// later phase elects the same correct leader at every correct core member.
+// Suspicion is per phase, not permanent: a member that missed a phase
+// (down under a recovery schedule) is suspected for exactly the phases it
+// missed and rehabilitated by its first reply after coming back, so the
+// detector re-elects the smallest live core id across crash-recovery
+// faults. Under permanent crashes the two policies coincide — a crashed
+// member never replies again, so its suspicion re-derives every phase —
+// and because beginPhase queries every core member regardless of
+// suspicion, the message structure is identical too. The Fig. 3 accuracy
+// argument applies per phase, so suspicion is perfect; once the last
+// crash (or recovery) has settled, every later phase elects the same
+// leader at every correct core member.
 //
 // Core members communicate pairwise (Query/Ping go through Env.Send), so
 // the communication graph must link every pair of core members — on
@@ -113,12 +122,10 @@ func (o *OmegaCore) beginPhase(env *sim.Env) {
 
 func (o *OmegaCore) endPhase(env *sim.Env) {
 	for _, q := range o.Core {
-		if q == o.self || o.suspected[q] {
+		if q == o.self {
 			continue
 		}
-		if !o.replied[q] {
-			o.suspected[q] = true
-		}
+		o.suspected[q] = !o.replied[q]
 	}
 	// Elect the smallest unsuspected core member (self is never
 	// self-suspected).

@@ -1,0 +1,78 @@
+package detector
+
+import (
+	"testing"
+
+	"repro/internal/rat"
+	"repro/internal/sim"
+)
+
+// TestOmegaReelectsAfterRecovery pins the crash-recovery behavior of the
+// per-phase suspicion rule: the initial leader (core member 0) goes down
+// for a span covering a couple of phases and comes back. While it is
+// down, the live members must demote it — some LeaderMsg announcing a
+// leader other than 0 appears in the trace — and once it has recovered
+// and answered a full phase again, every live member must have
+// rehabilitated it and re-elected it, so the final leader is 0 again.
+func TestOmegaReelectsAfterRecovery(t *testing.T) {
+	xi := rat.FromInt(2)
+	core := []sim.ProcessID{0, 1, 2}
+	// ChainLen(2) = 4 messages per chain, delays in [1, 3/2]: each phase
+	// spans roughly 4–6 time units. Down [4, 12) therefore covers at
+	// least one full phase at every live member, and 8 phases (~32–48
+	// time) leave several complete phases after the recovery at t=12.
+	down := sim.Interval{From: rat.FromInt(4), Until: rat.FromInt(12)}
+	cfg := sim.Config{
+		N: 3,
+		Spawn: func(sim.ProcessID) sim.Process {
+			return &OmegaCore{Core: core, ChainLen: ChainLen(xi), MaxPhase: 8}
+		},
+		Faults: map[sim.ProcessID]sim.Fault{
+			0: {CrashAfter: sim.NeverCrash, Down: []sim.Interval{down}},
+		},
+		Delays:    sim.UniformDelay{Min: rat.One, Max: rat.New(3, 2)},
+		Seed:      3,
+		MaxEvents: 100000,
+	}
+	res, err := sim.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Trace.Faulty[0] {
+		t.Error("recovering process 0 not marked faulty in the trace")
+	}
+
+	// Mid-run demotion: a live member announced a non-0 leader while 0
+	// was down.
+	demoted := false
+	for _, m := range res.Trace.Msgs {
+		lm, ok := m.Payload.(LeaderMsg)
+		if !ok || m.From == 0 {
+			continue
+		}
+		if lm.Leader != 0 {
+			demoted = true
+			if lm.Leader != 1 {
+				t.Errorf("member %d demoted 0 to %d, want 1 (smallest live id)", m.From, lm.Leader)
+			}
+		}
+	}
+	if !demoted {
+		t.Errorf("no live member ever announced a leader other than 0 during the down span %v", down)
+	}
+
+	// Final re-election: both live members finished every phase, cleared
+	// their suspicion of 0, and elected it again.
+	for _, p := range []sim.ProcessID{1, 2} {
+		oc := res.Procs[p].(*OmegaCore)
+		if oc.Phase() != 8 {
+			t.Errorf("member %d finished %d/8 phases", p, oc.Phase())
+		}
+		if oc.Suspects(0) {
+			t.Errorf("member %d still suspects recovered member 0", p)
+		}
+		if got := oc.Leader(); got != 0 {
+			t.Errorf("member %d elected %d after recovery, want 0", p, got)
+		}
+	}
+}

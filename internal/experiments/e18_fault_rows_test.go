@@ -1,0 +1,30 @@
+package experiments
+
+import "testing"
+
+// TestCrossWorkloadFaultPlaneRows pins the fault-plane extension of the
+// E18 matrix: every recovery/lossy/partition cell produces a passing row
+// (admissible, domain verdict clean, batch re-check agreement).
+func TestCrossWorkloadFaultPlaneRows(t *testing.T) {
+	res, err := RunCrossWorkload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := 0
+	for _, r := range res.Rows {
+		t.Logf("%s: ok=%v %s", r.Name, r.OK, r.Measured)
+		if !r.OK {
+			t.Errorf("%s: %s", r.Name, r.Measured)
+		}
+	}
+	for _, fc := range faultPlaneMatrix {
+		for _, r := range res.Rows {
+			if r.Name == fc.name {
+				found++
+			}
+		}
+	}
+	if found != len(faultPlaneMatrix) {
+		t.Errorf("found %d fault-plane rows, want %d", found, len(faultPlaneMatrix))
+	}
+}

@@ -36,6 +36,9 @@ type Engine struct {
 	stepCount  []int // computing steps executed per process
 	eventCount []int // receive events recorded per process
 	wakeTime   []Time
+	down       [][]Interval // per-process down schedule (aliases Fault.Down)
+	hold       []bool       // InflightHold: defer deliveries past down intervals
+	amnesia    []bool       // RecoverAmnesia: respawn on each recovery wake-up
 	out        []pendingSend // Env send buffer, recycled between steps
 	env        Env           // the one step environment, reused every step
 	posRows    [][]int32     // pooled eventPos rows; compacted out per run
@@ -56,6 +59,8 @@ type Engine struct {
 	seq        int64
 	nextMsg    MsgID
 	monitorErr error
+	net        *NetFaults // cfg.Net; nil draws nothing from the RNG
+	partSides  [][]int8   // per-partition side vectors, built at Run setup
 }
 
 // NewEngine returns an empty Engine. Equivalent to new(Engine); it exists
@@ -111,6 +116,31 @@ func (e *Engine) Run(cfg Config) (*Result, error) {
 		if f.CrashAfter < NeverCrash {
 			return nil, fmt.Errorf("sim: fault for process %d has CrashAfter = %d", p, f.CrashAfter)
 		}
+		// Down schedules are validated like scripted sends: a malformed
+		// schedule is a configuration error, never silent misbehavior.
+		if len(f.Down) > 0 && f.CrashAfter >= 0 {
+			return nil, fmt.Errorf("sim: fault for process %d sets both CrashAfter and a Down schedule", p)
+		}
+		if f.Recovery != RecoverDurable && f.Recovery != RecoverAmnesia {
+			return nil, fmt.Errorf("sim: fault for process %d has unknown recovery policy %d", p, f.Recovery)
+		}
+		if f.Inflight != InflightDrop && f.Inflight != InflightHold {
+			return nil, fmt.Errorf("sim: fault for process %d has unknown in-flight policy %d", p, f.Inflight)
+		}
+		if f.Recovery == RecoverAmnesia && f.Byzantine != nil {
+			return nil, fmt.Errorf("sim: fault for process %d: amnesia recovery of a Byzantine process (Spawn cannot restore its handler)", p)
+		}
+		for i, iv := range f.Down {
+			if iv.From.Sign() < 0 {
+				return nil, fmt.Errorf("sim: down interval %d of process %d starts at negative time %v", i, p, iv.From)
+			}
+			if !iv.From.Less(iv.Until) {
+				return nil, fmt.Errorf("sim: down interval %d of process %d is empty: [%v, %v)", i, p, iv.From, iv.Until)
+			}
+			if i > 0 && iv.From.Less(f.Down[i-1].Until) {
+				return nil, fmt.Errorf("sim: down intervals %d and %d of process %d overlap or are unsorted", i-1, i, p)
+			}
+		}
 		// Scripted sends go through the same wiring rules as Env.Send: a
 		// Byzantine process controls its behavior, not the network — it
 		// cannot message across links that do not exist (see the adversary
@@ -127,6 +157,45 @@ func (e *Engine) Run(cfg Config) (*Result, error) {
 			}
 		}
 	}
+	// The message-level fault layer is validated up front, like scripted
+	// sends: probabilities in range, spike penalties non-negative, and
+	// every partition a real cut of the configured topology within the run
+	// horizon.
+	var partSides [][]int8
+	if nf := cfg.Net; nf != nil {
+		if nf.Drop < 0 || nf.Drop > 1 {
+			return nil, fmt.Errorf("sim: drop probability %v outside [0, 1]", nf.Drop)
+		}
+		if nf.Dup < 0 || nf.Dup > 1 {
+			return nil, fmt.Errorf("sim: duplicate probability %v outside [0, 1]", nf.Dup)
+		}
+		if nf.Spike.Prob < 0 || nf.Spike.Prob > 1 {
+			return nil, fmt.Errorf("sim: spike probability %v outside [0, 1]", nf.Spike.Prob)
+		}
+		if nf.Spike.Prob > 0 && nf.Spike.Extra.Sign() < 0 {
+			return nil, fmt.Errorf("sim: spike adds negative delay %v", nf.Spike.Extra)
+		}
+		partSides = make([][]int8, len(nf.Partitions))
+		for i, pt := range nf.Partitions {
+			if pt.From.Sign() < 0 {
+				return nil, fmt.Errorf("sim: partition %d starts at negative time %v", i, pt.From)
+			}
+			if !pt.From.Less(pt.Until) {
+				return nil, fmt.Errorf("sim: partition %d interval is empty: [%v, %v)", i, pt.From, pt.Until)
+			}
+			if cfg.MaxTime.Sign() > 0 && pt.Until.Greater(cfg.MaxTime) {
+				return nil, fmt.Errorf("sim: partition %d ends at %v, beyond the run horizon %v", i, pt.Until, cfg.MaxTime)
+			}
+			sides, err := partitionSides(pt, cfg.N)
+			if err != nil {
+				return nil, fmt.Errorf("%s (partition %d)", err, i)
+			}
+			if !partitionCutsLink(sides, cfg.Topology, links, cfg.N) {
+				return nil, fmt.Errorf("sim: partition %d cuts no link of the topology", i)
+			}
+			partSides[i] = sides
+		}
+	}
 	maxEvents := cfg.MaxEvents
 	if maxEvents <= 0 {
 		maxEvents = defaultMaxEvents
@@ -136,6 +205,8 @@ func (e *Engine) Run(cfg Config) (*Result, error) {
 	e.ret = ret
 	e.reset(cfg)
 	e.links = links
+	e.net = cfg.Net
+	e.partSides = partSides
 	if links != nil && cap(e.out) < links.MaxOutDegree()+1 {
 		// Pre-size the pooled send buffer to the worst-case broadcast
 		// fan-out (+1 for the woven-in self-delivery) so steps never grow
@@ -148,6 +219,9 @@ func (e *Engine) Run(cfg Config) (*Result, error) {
 		if f, ok := cfg.Faults[p]; ok {
 			e.trace.Faulty[p] = true
 			e.crashAfter[p] = f.CrashAfter
+			e.down[p] = f.Down
+			e.hold[p] = len(f.Down) > 0 && f.Inflight == InflightHold
+			e.amnesia[p] = len(f.Down) > 0 && f.Recovery == RecoverAmnesia
 			if f.Byzantine != nil {
 				handler = f.Byzantine
 			}
@@ -160,11 +234,21 @@ func (e *Engine) Run(cfg Config) (*Result, error) {
 
 	// Schedule wake-ups first so that, at equal times, the deterministic
 	// (time, seq) order delivers each process's wake-up before any peer
-	// message (Section 2's assumption on the very first step).
+	// message (Section 2's assumption on the very first step). A wake-up
+	// time covered by a down interval is deferred to that interval's end —
+	// a process's wake-up is never lost, so every recoverable process
+	// eventually initializes (and amnesia machines are never respawned
+	// before their first spawn took a step).
 	for p := ProcessID(0); int(p) < cfg.N; p++ {
 		at := rat.Zero
 		if cfg.StartTimes != nil {
 			at = cfg.StartTimes[p]
+		}
+		for _, iv := range e.down[p] {
+			// Forward scan: adjacent intervals cascade the deferral.
+			if iv.Contains(at) {
+				at = iv.Until
+			}
 		}
 		e.wakeTime[p] = at
 		id := e.recordMessage(Message{
@@ -172,6 +256,26 @@ func (e *Engine) Run(cfg Config) (*Result, error) {
 			SendTime: at, RecvTime: at, Payload: Wakeup{},
 		})
 		e.queue.push(delivery{at: at, key: deliveryKey(at), seq: e.nextSeq(), msg: id})
+	}
+	// Recovery wake-ups for amnesia processes: one external wake-up at the
+	// end of each down interval, so the respawned machine re-executes its
+	// initialization. Scheduled at setup, their queue seq precedes every
+	// runtime send at the same time — the respawn happens before any held
+	// delivery at the recovery instant is processed.
+	for p := ProcessID(0); int(p) < cfg.N; p++ {
+		if !e.amnesia[p] {
+			continue
+		}
+		for _, iv := range e.down[p] {
+			if !iv.Until.Greater(e.wakeTime[p]) {
+				continue // the initial wake-up already covers this recovery
+			}
+			id := e.recordMessage(Message{
+				From: External, To: p, SendStep: SendStepExternal,
+				SendTime: iv.Until, RecvTime: iv.Until, Payload: Wakeup{},
+			})
+			e.queue.push(delivery{at: iv.Until, key: deliveryKey(iv.Until), seq: e.nextSeq(), msg: id})
+		}
 	}
 	// Scripted Byzantine sends, in process order for determinism (map
 	// iteration order is randomized).
@@ -190,6 +294,10 @@ func (e *Engine) Run(cfg Config) (*Result, error) {
 	res := &Result{Trace: e.trace, Procs: e.procs, Truncated: truncated, MonitorErr: e.monitorErr}
 	// Drop the escaping references so pooled state never aliases a result.
 	e.trace, e.procs, e.cfg, e.links, e.cb, e.monitorErr = nil, nil, Config{}, nil, nil, nil
+	e.net, e.partSides = nil, nil
+	for p := range e.down {
+		e.down[p] = nil // Fault.Down slices are config-owned; do not pin them
+	}
 	e.env = Env{}
 	return res, nil
 }
@@ -228,6 +336,9 @@ func (e *Engine) reset(cfg Config) {
 	e.stepCount = resizeInts(e.stepCount, cfg.N)
 	e.eventCount = resizeInts(e.eventCount, cfg.N)
 	e.wakeTime = resizeTimes(e.wakeTime, cfg.N)
+	e.down = resizeDowns(e.down, cfg.N)
+	e.hold = resizeBools(e.hold, cfg.N)
+	e.amnesia = resizeBools(e.amnesia, cfg.N)
 	for p := 0; p < cfg.N; p++ {
 		e.crashAfter[p] = NeverCrash
 	}
@@ -317,6 +428,28 @@ func resizeTimes(s []Time, n int) []Time {
 	return s
 }
 
+func resizeBools(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = false
+	}
+	return s
+}
+
+func resizeDowns(s [][]Interval, n int) [][]Interval {
+	if cap(s) < n {
+		return make([][]Interval, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = nil
+	}
+	return s
+}
+
 func (e *Engine) nextSeq() int64 {
 	e.seq++
 	return e.seq
@@ -336,8 +469,11 @@ func (e *Engine) recordMessage(m Message) MsgID {
 	default:
 		e.trace.totalMsgs++
 		e.trace.digest.foldMessage(&m)
+		// Dropped messages are never delivered, so they enter the pooled
+		// in-flight store already done — eligible for compaction, but
+		// preserving the dense pendBase+i == ID indexing.
 		e.pend = append(e.pend, m)
-		e.pendDone = append(e.pendDone, false)
+		e.pendDone = append(e.pendDone, m.Dropped)
 	}
 	if e.cb != nil {
 		// Copy for the interface call: handing &m itself to an opaque
@@ -348,25 +484,124 @@ func (e *Engine) recordMessage(m Message) MsgID {
 	return m.ID
 }
 
-// sendMessage assigns a delay and schedules the delivery. Delivery never
-// precedes the recipient's wake-up (receive times are clamped to the wake
-// time; the wake-up's earlier queue seq breaks the tie).
+// sendMessage runs the network pipeline for one send: the message-level
+// fault layer first (partitions and the drop rule lose the message; the
+// dup rule delivers it twice), then deliver assigns the delay and
+// schedules the delivery. All fault draws come from the run's single RNG
+// in the deterministic send order, and a nil Config.Net draws nothing —
+// legacy runs are byte-identical. Self-sends bypass the network layer
+// entirely (local delivery is not the network's to lose), and wake-ups
+// never pass through sendMessage at all.
 func (e *Engine) sendMessage(from ProcessID, sendStep int, sendTime Time, to ProcessID, payload any) {
 	m := Message{
 		From: from, To: to, SendStep: sendStep,
 		SendTime: sendTime, Payload: payload,
 	}
+	if e.net != nil && from != to {
+		for i := range e.net.Partitions {
+			pt := &e.net.Partitions[i]
+			sides := e.partSides[i]
+			if sides[from] != 0 && sides[to] != 0 && sides[from] != sides[to] &&
+				!sendTime.Less(pt.From) && sendTime.Less(pt.Until) {
+				e.dropMessage(m)
+				return
+			}
+		}
+		if e.net.Drop > 0 && e.rng.Float64() < e.net.Drop {
+			e.dropMessage(m)
+			return
+		}
+		e.deliver(m)
+		// The duplicate draws its own delay and spike; it is itself never
+		// dropped or re-duplicated.
+		if e.net.Dup > 0 && e.rng.Float64() < e.net.Dup {
+			e.deliver(m)
+		}
+		return
+	}
+	e.deliver(m)
+}
+
+// dropMessage records a message the network lost: RecvTime == SendTime,
+// Dropped set, never enqueued — so no receive event ever has it as a
+// trigger and the causality graph never sees it, while the trace (and
+// both digests) still commit to the loss.
+func (e *Engine) dropMessage(m Message) {
+	m.RecvTime = m.SendTime
+	m.Dropped = true
+	e.recordMessage(m)
+}
+
+// deliver assigns a delay and schedules the delivery. Delivery never
+// precedes the recipient's wake-up (receive times are clamped to the wake
+// time; the wake-up's earlier queue seq breaks the tie), and under
+// InflightHold a delivery falling in a down interval of the recipient is
+// deferred to that interval's end.
+func (e *Engine) deliver(m Message) {
 	d := e.cfg.Delays.Delay(m, e.rng)
 	if d.Sign() < 0 {
 		panic(fmt.Sprintf("sim: delay policy returned negative delay %v", d))
 	}
-	recv := sendTime.Add(d)
-	if recv.Less(e.wakeTime[to]) {
-		recv = e.wakeTime[to]
+	recv := m.SendTime.Add(d)
+	if e.net != nil && m.From != m.To && e.net.Spike.Prob > 0 && e.rng.Float64() < e.net.Spike.Prob {
+		recv = recv.Add(e.net.Spike.Extra)
+	}
+	if recv.Less(e.wakeTime[m.To]) {
+		recv = e.wakeTime[m.To]
+	}
+	if e.hold[m.To] {
+		for _, iv := range e.down[m.To] {
+			// Forward scan over the sorted schedule: adjacent intervals
+			// cascade the deferral.
+			if iv.Contains(recv) {
+				recv = iv.Until
+			}
+		}
 	}
 	m.RecvTime = recv
 	id := e.recordMessage(m)
 	e.queue.push(delivery{at: recv, key: deliveryKey(recv), seq: e.nextSeq(), msg: id})
+}
+
+// partitionCutsLink reports whether a partition's side vector severs at
+// least one link of the topology. For predicate topologies the pair scan
+// is only affordable at small N; larger systems skip the check (the
+// partition is accepted as specified).
+func partitionCutsLink(sides []int8, topo Topology, links *Links, n int) bool {
+	if topo == nil {
+		// Full mesh: two non-empty sides always cut links.
+		return true
+	}
+	if links != nil {
+		for p := 0; p < n; p++ {
+			if sides[p] == 0 {
+				continue
+			}
+			for _, q := range links.Out(ProcessID(p)) {
+				if sides[q] != 0 && sides[q] != sides[p] {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	if n > 1024 {
+		return true
+	}
+	for p := 0; p < n; p++ {
+		if sides[p] == 0 {
+			continue
+		}
+		for q := 0; q < n; q++ {
+			if q == p || sides[q] == 0 || sides[q] == sides[p] {
+				continue
+			}
+			if topo.Linked(ProcessID(p), ProcessID(q)) {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // takeDelivery resolves a popped delivery to its message. Under bounded
@@ -449,7 +684,21 @@ func (e *Engine) loop(maxEvents int) (truncated bool) {
 		}
 		p := m.To
 
+		// A process is not taking steps while permanently crashed or inside
+		// a down interval; the reception still occurs (Processed == false) —
+		// the network controls reception, the receiver controls processing.
 		crashed := e.crashAfter[p] != NeverCrash && e.stepCount[p] >= e.crashAfter[p]
+		if !crashed && len(e.down[p]) > 0 {
+			crashed = downAt(e.down[p], m.RecvTime)
+		}
+		if !crashed && e.amnesia[p] && m.IsWakeup() && e.eventCount[p] > 0 {
+			// Recovery wake-up of an amnesia process: respawn from scratch
+			// and reset the step counter so the fresh machine sees step
+			// indices from zero. Event indices stay monotone — SendStep
+			// records event indices, so causality is unaffected.
+			e.procs[p] = e.cfg.Spawn(p)
+			e.stepCount[p] = 0
+		}
 		ev := Event{
 			Proc:    p,
 			Index:   e.eventCount[p],
@@ -492,6 +741,20 @@ func (e *Engine) loop(maxEvents int) (truncated bool) {
 		}
 		if ev.Processed && e.cfg.Until != nil && e.cfg.Until(e.procs) {
 			return false
+		}
+	}
+	return false
+}
+
+// downAt reports whether t falls inside one of the sorted intervals.
+// Schedules are tiny (a handful of intervals), so a linear scan wins.
+func downAt(down []Interval, t Time) bool {
+	for _, iv := range down {
+		if t.Less(iv.From) {
+			return false
+		}
+		if t.Less(iv.Until) {
+			return true
 		}
 	}
 	return false

@@ -10,13 +10,41 @@ package sim
 // Run rejects: fault-map keys outside [0, N); CrashAfter below NeverCrash
 // (-1 is the only negative value with a meaning); scripted sends whose
 // To is out of range, whose At is negative, or which cross a link the
-// topology does not provide (see the adversary-model note on Script).
+// topology does not provide (see the adversary-model note on Script);
+// down schedules that overlap, are unsorted, or are combined with
+// CrashAfter; and unknown recovery/in-flight policies.
 type Fault struct {
 	// CrashAfter, when >= 0, makes the process execute only its first
 	// CrashAfter computing steps; afterwards receptions still occur but
 	// trigger no step. CrashAfter == 0 crashes the process before its
 	// wake-up step. Use NeverCrash (-1) for no crash.
+	//
+	// CrashAfter is the permanent, step-indexed crash; Down is the
+	// time-indexed recoverable generalization. Setting both on one Fault
+	// is a configuration error.
 	CrashAfter int
+	// Down is a schedule of half-open intervals [From, Until) of simulated
+	// time during which the process is down: receptions still occur at it
+	// (or are deferred, per Inflight) but trigger no computing step, the
+	// reception/processing split of Section 2 — a crash-stop fault is the
+	// special case of a Down interval that never ends. At each interval's
+	// end the process recovers and resumes per Recovery. Intervals must be
+	// sorted by From and non-overlapping.
+	//
+	// A process's wake-up is never lost to a down interval: a wake-up time
+	// covered by an interval is deferred to that interval's end (under
+	// both in-flight policies), so every Down process eventually
+	// initializes. A down-then-up process still counts against f and is
+	// marked faulty in the trace for the whole run — Definition 1 has no
+	// partially-faulty processes, so its messages stay exempt from the
+	// execution graph even while it is up.
+	Down []Interval
+	// Recovery selects the state a process resumes with after each Down
+	// interval; the zero value is RecoverDurable. Ignored without Down.
+	Recovery RecoveryPolicy
+	// Inflight selects the fate of messages arriving during a Down
+	// interval; the zero value is InflightDrop. Ignored without Down.
+	Inflight InflightPolicy
 	// Byzantine, when non-nil, replaces the process's state machine for all
 	// of its steps. The Byzantine process may send arbitrary messages
 	// (including equivocating payloads) from its steps. CrashAfter still

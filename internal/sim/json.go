@@ -60,6 +60,7 @@ type jsonMessage struct {
 	RecvTime string `json:"recvTime"`
 	Payload  string `json:"payload,omitempty"`
 	Wakeup   bool   `json:"wakeup,omitempty"`
+	Dropped  bool   `json:"dropped,omitempty"`
 }
 
 // WriteJSON serializes the trace.
@@ -85,7 +86,7 @@ func (t *Trace) WriteJSON(w io.Writer) error {
 		jt.Msgs[i] = jsonMessage{
 			ID: int(m.ID), From: int(m.From), To: int(m.To), SendStep: m.SendStep,
 			SendTime: m.SendTime.String(), RecvTime: m.RecvTime.String(),
-			Payload: payload, Wakeup: m.IsWakeup(),
+			Payload: payload, Wakeup: m.IsWakeup(), Dropped: m.Dropped,
 		}
 	}
 	enc := json.NewEncoder(w)
@@ -139,6 +140,7 @@ func ReadJSON(r io.Reader) (*Trace, error) {
 		t.Msgs[i] = Message{
 			ID: MsgID(jm.ID), From: ProcessID(jm.From), To: ProcessID(jm.To),
 			SendStep: jm.SendStep, SendTime: st, RecvTime: rt, Payload: payload,
+			Dropped: jm.Dropped,
 		}
 	}
 	t.indexEvents()

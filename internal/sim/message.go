@@ -61,6 +61,12 @@ type Message struct {
 	SendTime Time // when the sending step occurred
 	RecvTime Time // when the receive event occurred at To
 	Payload  any
+	// Dropped marks a message the network lost (Config.Net drop rule or an
+	// active partition). Dropped messages carry RecvTime == SendTime, are
+	// never delivered — no receive event has one as its trigger — and are
+	// invisible to the causality graph; they are recorded so the trace
+	// commits to the loss pattern (Hash and StreamHash both fold it).
+	Dropped bool
 }
 
 // IsWakeup reports whether m is an external wake-up message.
@@ -360,6 +366,9 @@ func (t *Trace) Validate() error {
 		m := t.Msgs[ev.Trigger]
 		if m.To != ev.Proc {
 			return fmt.Errorf("sim: event %d at p%d triggered by message to p%d", i, ev.Proc, m.To)
+		}
+		if m.Dropped {
+			return fmt.Errorf("sim: event %d triggered by dropped message %d", i, ev.Trigger)
 		}
 		if !m.RecvTime.Equal(ev.Time) {
 			return fmt.Errorf("sim: event %d time %v != message recv time %v", i, ev.Time, m.RecvTime)

@@ -10,6 +10,12 @@ type Config struct {
 	// Faults maps process IDs to their failure behavior. Processes not
 	// present are correct.
 	Faults map[ProcessID]Fault
+	// Net, when non-nil, enables the message-level fault layer: seeded
+	// deterministic drop/duplicate/delay-spike rules and transient link
+	// partitions, validated at Run setup and applied at send time in the
+	// deterministic delivery order. nil is a perfect network — and draws
+	// nothing from the RNG, so legacy traces are untouched byte for byte.
+	Net *NetFaults
 	// Delays assigns end-to-end delays; required.
 	Delays DelayPolicy
 	// Topology is the communication graph; nil means fully connected.

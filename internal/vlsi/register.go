@@ -60,7 +60,7 @@ func vlsiJob(v workload.Values, seed int64) (runner.Job, error) {
 	// The chip has no live Byzantine family (dead modules and stuck
 	// drivers, not adversarial logic): the nil factory rejects byz
 	// clauses, crash/script model fab defects and glitching wires.
-	faults, err := workload.SharedOrLegacyFaults(v, n, topo, nil,
+	faults, net, err := workload.SharedOrLegacyFaults(v, n, topo, nil,
 		silent > 0, "silent>0",
 		func() map[sim.ProcessID]sim.Fault {
 			m := make(map[sim.ProcessID]sim.Fault, silent)
@@ -79,6 +79,7 @@ func vlsiJob(v workload.Values, seed int64) (runner.Job, error) {
 		N:         n,
 		Spawn:     clocksync.Spawner(n, f),
 		Faults:    faults,
+		Net:       net,
 		Delays:    chip.DelayPolicy(),
 		Topology:  topo,
 		Seed:      seed,
@@ -99,6 +100,11 @@ func vlsiJob(v workload.Values, seed int64) (runner.Job, error) {
 // admissibility and scale measurements without the precision claim.
 func vlsiVerdict(v workload.Values, r *runner.JobResult) error {
 	if v.String("topology") != "full" || !r.CompletedAdmissible(true) {
+		return nil
+	}
+	// Theorem 3 assumes every broadcast arrives; lossy-wire sweeps run
+	// the chip for admissibility only.
+	if workload.NetFaulty(v) {
 		return nil
 	}
 	return clocksync.CheckRealTimePrecision(r.Trace, r.Xi.MulInt(2).Ceil())

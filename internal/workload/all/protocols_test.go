@@ -17,26 +17,36 @@ import (
 
 // faultCases are parameter points exercising the fault axis on every
 // family that accepts it: crash-at-step grids, Byzantine budgets,
-// scripted noise, and the Ω core on sparse fabrics. All must pass their
-// domain verdicts.
+// scripted noise, the Ω core on sparse fabrics, and the crash-recovery
+// and lossy-network families (recover schedules under both state and
+// in-flight policies, drop/dup/spike rules, transient partitions). All
+// must pass their domain verdicts.
 func faultCases(t *testing.T) map[string][]string {
 	t.Helper()
 	return map[string][]string{
-		"consensus-floodset-silent": {"consensus", "algo=floodset", "faults=crash/1@0"},
-		"consensus-floodset-late":   {"consensus", "algo=floodset", "faults=crash/1@2"},
-		"consensus-eig-byz":         {"consensus", "algo=eig", "faults=byz/1"},
-		"consensus-eig-byz-budget":  {"consensus", "algo=eig", "faults=byz/1@20"},
-		"consensus-phaseking-byz":   {"consensus", "n=5", "algo=phaseking", "faults=byz/1"},
-		"consensus-script":          {"consensus", "algo=eig", "faults=script/1@2"},
-		"omega-silent-follower":     {"omega", "faults=crash/1@0"},
-		"omega-silent-core":         {"omega", "n=3", "faults=crash/1@0"},
-		"omega-ring":                {"omega", "n=8", "topology=ring", "faults=crash/1@0"},
-		"omega-torus":               {"omega", "n=9", "topology=torus"},
-		"clocksync-byz-axis":        {"clocksync", "faults=byz/1@30"},
-		"clocksync-crash-axis":      {"clocksync", "faults=crash/1@4"},
-		"lockstep-crash-axis":       {"lockstep", "faults=crash/1@2"},
-		"vlsi-crash-axis":           {"vlsi", "faults=crash/1@0"},
-		"broadcast-script-axis":     {"broadcast", "faults=script/2@1"},
+		"consensus-floodset-silent":  {"consensus", "algo=floodset", "faults=crash/1@0"},
+		"consensus-floodset-late":    {"consensus", "algo=floodset", "faults=crash/1@2"},
+		"consensus-eig-byz":          {"consensus", "algo=eig", "faults=byz/1"},
+		"consensus-eig-byz-budget":   {"consensus", "algo=eig", "faults=byz/1@20"},
+		"consensus-phaseking-byz":    {"consensus", "n=5", "algo=phaseking", "faults=byz/1"},
+		"consensus-script":           {"consensus", "algo=eig", "faults=script/1@2"},
+		"consensus-floodset-recover": {"consensus", "algo=floodset", "faults=recover/1@2..6"},
+		"omega-silent-follower":      {"omega", "faults=crash/1@0"},
+		"omega-silent-core":          {"omega", "n=3", "faults=crash/1@0"},
+		"omega-ring":                 {"omega", "n=8", "topology=ring", "faults=crash/1@0"},
+		"omega-torus":                {"omega", "n=9", "topology=torus"},
+		"omega-recover-leader":       {"omega", "faults=recover/p0@4..12"},
+		"clocksync-byz-axis":         {"clocksync", "faults=byz/1@30"},
+		"clocksync-crash-axis":       {"clocksync", "faults=crash/1@4"},
+		"clocksync-lossy":            {"clocksync", "faults=drop/0.1"},
+		"lockstep-crash-axis":        {"lockstep", "faults=crash/1@2"},
+		"vlsi-crash-axis":            {"vlsi", "faults=crash/1@0"},
+		"broadcast-script-axis":      {"broadcast", "faults=script/2@1"},
+		"broadcast-recover":          {"broadcast", "faults=recover/1@2..4"},
+		"broadcast-recover-amnesia":  {"broadcast", "faults=recover/1@2..4", "recovery=amnesia", "inflight=hold"},
+		"broadcast-drop":             {"broadcast", "faults=drop/0.3"},
+		"broadcast-dup-spike":        {"broadcast", "faults=dup/0.25+spike/0.2@2"},
+		"broadcast-partition":        {"broadcast", "faults=partition/halves@2..5"},
 	}
 }
 

@@ -95,6 +95,71 @@ func TestSinkEquivalenceAllSources(t *testing.T) {
 	}
 }
 
+// TestNetFaultSinkEquivalence is the retention half of the fault-plane
+// acceptance bar: under message drops, duplicates, delay spikes, a
+// transient partition, and a recovering process — the config that draws
+// the most from the per-message fault stream — full, window, and none
+// retention must agree on totals and on the running stream digest.
+// Dropped deliveries are folded into the digest as they happen, so any
+// retention-dependent divergence in the fault layer shows up here.
+func TestNetFaultSinkEquivalence(t *testing.T) {
+	s := source(t, "broadcast")
+	engine := sim.NewEngine()
+	for _, spec := range []string{
+		"drop/0.3",
+		"dup/0.25+spike/0.2@2",
+		"partition/halves@2..5",
+		"recover/1@2..4+drop/0.2+dup/0.15",
+	} {
+		t.Run(spec, func(t *testing.T) {
+			cfgFor := func() *sim.Config {
+				v, err := s.Resolve(map[string]string{"faults": spec})
+				if err != nil {
+					t.Fatalf("%s: %v", spec, err)
+				}
+				jobs, err := s.Jobs(v, []int64{7}, workload.JobOptions{NoVerdict: true})
+				if err != nil {
+					t.Fatalf("%s: %v", spec, err)
+				}
+				return jobs[0].Cfg
+			}
+			full, err := engine.Run(*cfgFor())
+			if err != nil {
+				t.Fatal(err)
+			}
+			ft := full.Trace
+			if ft.TotalMsgs() == 0 {
+				t.Fatal("run recorded no messages")
+			}
+			for _, tc := range []struct {
+				mode string
+				sink sim.Sink
+			}{
+				{"window", sim.RetainWindow(16)},
+				{"none", sim.RetainNone()},
+			} {
+				cfg := cfgFor()
+				cfg.Sink = tc.sink
+				res, err := engine.Run(*cfg)
+				if err != nil {
+					t.Fatalf("%s: %v", tc.mode, err)
+				}
+				bt := res.Trace
+				if bt.TotalEvents() != ft.TotalEvents() || bt.TotalMsgs() != ft.TotalMsgs() {
+					t.Fatalf("%s: totals (%d, %d), want (%d, %d)",
+						tc.mode, bt.TotalEvents(), bt.TotalMsgs(), ft.TotalEvents(), ft.TotalMsgs())
+				}
+				if bt.StreamHash() != ft.StreamHash() {
+					t.Fatalf("%s: stream hash %016x, want %016x", tc.mode, bt.StreamHash(), ft.StreamHash())
+				}
+				if res.Truncated != full.Truncated {
+					t.Fatalf("%s: truncated %v, want %v", tc.mode, res.Truncated, full.Truncated)
+				}
+			}
+		})
+	}
+}
+
 // TestWindowWatchMatchesBatchFirstViolation pins the watch path that
 // bounded retention exists to serve: on an inadmissible broadcast load
 // (delays [1, 3] against Ξ = 3/2), the incremental checker fed by a
@@ -103,6 +168,66 @@ func TestSinkEquivalenceAllSources(t *testing.T) {
 func TestWindowWatchMatchesBatchFirstViolation(t *testing.T) {
 	s := source(t, "broadcast")
 	base := map[string]string{"n": "5", "target": "8", "min": "1", "max": "3", "xi": "3/2"}
+	type outcome struct {
+		violation  int
+		admissible bool
+	}
+	runOne := func(trace string, watch bool) outcome {
+		t.Helper()
+		overrides := map[string]string{"trace": trace}
+		for k, v := range base {
+			overrides[k] = v
+		}
+		vals, err := s.Resolve(overrides)
+		if err != nil {
+			t.Fatalf("trace=%s: %v", trace, err)
+		}
+		jobs, err := s.Jobs(vals, []int64{1}, workload.JobOptions{Watch: watch})
+		if err != nil {
+			t.Fatalf("trace=%s: %v", trace, err)
+		}
+		r := run(t, jobs, 1)[0]
+		if r.Err != nil {
+			t.Fatalf("trace=%s: %v", trace, r.Err)
+		}
+		if r.Verdict == nil {
+			t.Fatalf("trace=%s watch=%v: no verdict", trace, watch)
+		}
+		return outcome{violation: r.FirstViolation, admissible: r.Verdict.Admissible}
+	}
+
+	batch := runOne("full", false)
+	fullWatch := runOne("full", true)
+	windowWatch := runOne("window/256", true)
+
+	if batch.admissible {
+		t.Fatal("delays [1, 3] against Ξ=3/2 should be inadmissible")
+	}
+	if fullWatch.admissible || windowWatch.admissible {
+		t.Fatalf("watcher verdicts (full %v, window %v) disagree with batch (inadmissible)",
+			fullWatch.admissible, windowWatch.admissible)
+	}
+	if fullWatch.violation < 0 {
+		t.Fatal("full-trace watcher reported no first violation")
+	}
+	if windowWatch.violation != fullWatch.violation {
+		t.Fatalf("window watcher stopped at event %d, full-trace watcher at %d",
+			windowWatch.violation, fullWatch.violation)
+	}
+}
+
+// TestWindowWatchWithRecoveryFaults is the satellite golden-trace case:
+// recovery faults inject unprocessed down-receptions and a deferred
+// wake-up into the event stream, and the incremental watcher fed by a
+// sliding window must still abort at exactly the first violation the
+// full-trace watcher and the full-trace batch check find on the same
+// inadmissible load.
+func TestWindowWatchWithRecoveryFaults(t *testing.T) {
+	s := source(t, "broadcast")
+	base := map[string]string{
+		"n": "5", "target": "8", "min": "1", "max": "3", "xi": "3/2",
+		"faults": "recover/1@2..4",
+	}
 	type outcome struct {
 		violation  int
 		admissible bool

@@ -42,9 +42,10 @@ func init() {
 			if err != nil {
 				return runner.Job{}, err
 			}
-			// No algorithm, no adversary family: crash/script clauses
-			// carve holes in the traffic, byz is rejected.
-			faults, err := ResolveFaults(v, v.Int("n"), topo, nil)
+			// No algorithm, no adversary family: crash/script/recover
+			// clauses carve holes in the traffic, the net-fault clauses
+			// perturb its delivery, byz is rejected.
+			faults, net, err := ResolveFaults(v, v.Int("n"), topo, nil)
 			if err != nil {
 				return runner.Job{}, err
 			}
@@ -52,6 +53,7 @@ func init() {
 				N:         v.Int("n"),
 				Spawn:     BroadcastSpawner(v.Int("target")),
 				Faults:    faults,
+				Net:       net,
 				Delays:    sim.UniformDelay{Min: v.Rat("min"), Max: v.Rat("max")},
 				Topology:  topo,
 				Seed:      seed,

@@ -1,0 +1,104 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// FuzzParseFaults drives the faults= grammar with arbitrary specs: the
+// parser must never panic, and every accepted spec must satisfy the
+// grammar's invariants and resolve (or be rejected) cleanly against a
+// small system. The seed corpus covers every clause kind, both target
+// forms, the merge path, and the documented error classes.
+func FuzzParseFaults(f *testing.F) {
+	for _, spec := range []string{
+		"none",
+		"",
+		"crash/1",
+		"crash/2@3",
+		"crash/p0@2",
+		"byz/1@20+byz/1",
+		"script/1@3/2",
+		"recover/1@2..4",
+		"recover/p0@4..12",
+		"recover/p2@6..8+recover/p2@1..3",
+		"drop/0.3",
+		"dup/0.25",
+		"spike/0.2@2",
+		"spike/1",
+		"partition/halves@2..5",
+		"partition/p0@1..2",
+		"crash/1+drop/0.1+dup/0.1+spike/0.1@1/2+partition/halves@1..2",
+		"crash",
+		"crash/x",
+		"crash/-1",
+		"crash/1@-2",
+		"byz/1@0",
+		"script/1@-1",
+		"lost/1",
+		"recover/1",
+		"recover/1@3..3",
+		"recover/1@x..2",
+		"drop/2",
+		"drop/0.5@1",
+		"partition/halves",
+		"partition/h@1..2",
+		"drop/0.1+drop/0.2",
+		"crash/p3+recover/p3@1..2",
+		"+",
+		"//",
+		"@",
+		"crash/9999999999999999999999",
+		"recover/1@1/0..2",
+	} {
+		f.Add(spec)
+	}
+	byz := func(int, sim.ProcessID, int) sim.Process {
+		return sim.ProcessFunc(func(*sim.Env, sim.Message) {})
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		clauses, err := parseFaults(spec)
+		if err != nil {
+			if clauses != nil {
+				t.Fatalf("spec %q: error %v alongside clauses %v", spec, err, clauses)
+			}
+			return
+		}
+		for i, c := range clauses {
+			if c.pos != i+1 {
+				t.Fatalf("spec %q: clause %d has position %d", spec, i, c.pos)
+			}
+			if c.claimsProcess() {
+				if c.k < 0 || (c.target >= 0 && c.k != 1) {
+					t.Fatalf("spec %q: clause %d claims k=%d target=%d", spec, i, c.k, c.target)
+				}
+			}
+			switch c.kind {
+			case "drop", "dup", "spike":
+				if c.prob < 0 || c.prob > 1 {
+					t.Fatalf("spec %q: clause %d accepted probability %v", spec, i, c.prob)
+				}
+			case "recover", "partition":
+				if c.from.Sign() < 0 || !c.from.Less(c.until) {
+					t.Fatalf("spec %q: clause %d accepted interval [%v, %v)", spec, i, c.from, c.until)
+				}
+			}
+		}
+		// Accepted specs must resolve cleanly or be rejected with an
+		// error — never panic, never claim more than n processes.
+		v := faultValues(t, map[string]string{"faults": spec})
+		faults, _, err := ResolveFaults(v, 4, nil, byz)
+		if err != nil {
+			return
+		}
+		if len(faults) > 4 {
+			t.Fatalf("spec %q: resolved %d faults on a 4-process system", spec, len(faults))
+		}
+		for id := range faults {
+			if id < 0 || id >= 4 {
+				t.Fatalf("spec %q: fault for out-of-range process %d", spec, id)
+			}
+		}
+	})
+}
