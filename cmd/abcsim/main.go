@@ -23,6 +23,19 @@
 // event, the run stops at the first violating event, and the report names
 // the exact event index at which admissibility first failed.
 //
+// -shards controls intra-run parallelism: each simulation runs on the
+// conservative sharded engine with the given shard count (0, the
+// default, derives it from the cores the worker pool leaves idle; 1 pins
+// the serial engine). Traces and verdicts are byte-identical for every
+// value — like -workers it only trades wall-clock for cores.
+//
+// With -json the reports become NDJSON on stdout: one record per job
+// (kind "job": the full parameter point, seed, verdict, critical ratio,
+// stream digest, events/sec) and one aggregate footer (kind "fleet"),
+// machine-readable for sweep post-processing:
+//
+//	abcsim -workload broadcast -param n=1000 -runs 10 -json | jq -r .eventsPerSec
+//
 // Usage:
 //
 //	abcsim -list
@@ -56,6 +69,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -63,6 +77,7 @@ import (
 	"os"
 	"runtime"
 	"strings"
+	"time"
 
 	"repro/internal/causality"
 	"repro/internal/graphutil"
@@ -104,6 +119,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		seed    = fs.Int64("seed", 1, "random seed (first seed of a -runs sweep)")
 		runs    = fs.Int("runs", 1, "number of seeds to run, starting at -seed")
 		workers = fs.Int("workers", runtime.GOMAXPROCS(0), "fleet width for sweeps (per-seed results are identical for any width)")
+		shards  = fs.Int("shards", 0, "engine shards per simulation: 0 = fill idle cores, 1 = serial, N = fixed (results identical for any value)")
+		jsonOut = fs.Bool("json", false, "emit NDJSON records (one per job plus an aggregate footer) instead of the text report")
 		watch   = fs.Bool("watch", false, "monitor ABC(Ξ) incrementally during the run and stop at the first violating event")
 		// Legacy shorthands for the most common parameters; equivalent to
 		// -param <flag>=<value> and applied only when set.
@@ -167,9 +184,15 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *workers < 1 {
 		*workers = runtime.GOMAXPROCS(0)
 	}
+	if *shards < 0 {
+		return fmt.Errorf("-shards %d, need >= 0", *shards)
+	}
 	single := *runs == 1 && len(axes) == 0
 	if !single && (*traceOut != "" || *dotOut != "") {
 		return fmt.Errorf("-trace/-dot exports require a single run (-runs 1, no -sweep)")
+	}
+	if *jsonOut && (*traceOut != "" || *dotOut != "") {
+		return fmt.Errorf("-json does not combine with -trace/-dot exports")
 	}
 
 	opt := workload.JobOptions{Watch: *watch, Ratio: true}
@@ -184,7 +207,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 
-	results, stats, err := runner.Run(context.Background(), jobs, runner.Options{Workers: *workers})
+	opts := runner.Options{Workers: *workers, Shards: *shards}
+	if *shards == 0 {
+		opts.Shards = runner.ShardsAuto
+	}
+	start := time.Now()
+	results, stats, err := runner.Run(context.Background(), jobs, opts)
+	wall := time.Since(start)
 	if err != nil {
 		return err
 	}
@@ -194,6 +223,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 	}
 
+	if *jsonOut {
+		return reportJSON(stdout, *name, base, seeds, axes, jobs, results, stats, opts, wall)
+	}
 	if single {
 		return reportSingle(stdout, *name, base, *seed, results[0], jobs[0].Post != nil, *traceOut, *dotOut)
 	}
@@ -234,6 +266,123 @@ func run(args []string, stdout, stderr io.Writer) error {
 		fmt.Fprintln(stdout, "max critical ratio: none (all runs admissible for every Ξ > 1)")
 	}
 	return nil
+}
+
+// jobRecord is the per-job NDJSON line of -json mode.
+type jobRecord struct {
+	Kind           string            `json:"kind"` // "job"
+	Workload       string            `json:"workload"`
+	Key            string            `json:"key"`
+	Params         map[string]string `json:"params"`
+	Seed           int64             `json:"seed"`
+	Xi             string            `json:"xi,omitempty"`
+	Verdict        string            `json:"verdict,omitempty"` // admissible | inadmissible
+	Ratio          string            `json:"ratio,omitempty"`
+	FirstViolation int               `json:"firstViolation"`
+	Truncated      bool              `json:"truncated"`
+	DomainCheck    string            `json:"domainCheck,omitempty"` // ok | failed: ...
+	Events         int               `json:"events"`
+	Msgs           int               `json:"msgs"`
+	StreamHash     string            `json:"streamHash"`
+	Shards         int               `json:"shards"`
+	ElapsedSec     float64           `json:"elapsedSec"`
+	EventsPerSec   float64           `json:"eventsPerSec"`
+}
+
+// fleetRecord is the aggregate NDJSON footer of -json mode.
+type fleetRecord struct {
+	Kind         string  `json:"kind"` // "fleet"
+	Workload     string  `json:"workload"`
+	Runs         int     `json:"runs"`
+	Workers      int     `json:"workers"`
+	Shards       int     `json:"shards"`
+	Admissible   int     `json:"admissible"`
+	Inadmissible int     `json:"inadmissible"`
+	Truncated    int     `json:"truncated"`
+	CheckFailed  int     `json:"checkFailed"`
+	Events       int     `json:"events"`
+	Msgs         int     `json:"msgs"`
+	MaxRatio     string  `json:"maxRatio,omitempty"`
+	MaxRatioKey  string  `json:"maxRatioKey,omitempty"`
+	WallSec      float64 `json:"wallSec"`
+}
+
+// reportJSON renders the batch as NDJSON: one "job" record per result in
+// grid order, then one "fleet" footer. Each job's parameter point is the
+// resolved base overlaid with its sweep-cell assignment, recomputed from
+// the job index by mirroring ParamGrid's row-major expansion (first axis
+// outermost, seeds innermost).
+func reportJSON(stdout io.Writer, name string, base workload.Values, seeds []int64, axes []runner.Axis, jobs []runner.Job, results []runner.JobResult, stats runner.Stats, opts runner.Options, wall time.Duration) error {
+	enc := json.NewEncoder(stdout)
+	for _, r := range results {
+		params := base.Map()
+		for i, cell := len(axes)-1, r.Index/len(seeds); i >= 0; i-- {
+			n := len(axes[i].Values)
+			params[axes[i].Param] = axes[i].Values[cell%n]
+			cell /= n
+		}
+		rec := jobRecord{
+			Kind:           "job",
+			Workload:       name,
+			Key:            r.Key,
+			Params:         params,
+			Seed:           seeds[r.Index%len(seeds)], // seeds are the innermost grid axis
+			FirstViolation: r.FirstViolation,
+		}
+		if r.Xi.Sign() > 0 {
+			rec.Xi = r.Xi.String()
+		}
+		if r.Verdict != nil {
+			rec.Verdict = "admissible"
+			if !r.Verdict.Admissible {
+				rec.Verdict = "inadmissible"
+			}
+		}
+		if r.RatioFound {
+			rec.Ratio = r.Ratio.String()
+		}
+		if r.CheckErr != nil {
+			rec.DomainCheck = "failed: " + r.CheckErr.Error()
+		} else if jobs[r.Index].Post != nil {
+			rec.DomainCheck = "ok"
+		}
+		if r.Trace != nil {
+			rec.Events = r.Trace.TotalEvents()
+			rec.Msgs = r.Trace.TotalMsgs()
+			rec.StreamHash = fmt.Sprintf("%016x", r.Trace.StreamHash())
+		}
+		if r.Sim != nil {
+			rec.Truncated = r.Sim.Truncated
+			rec.Shards = r.Sim.Shards
+		}
+		rec.ElapsedSec = r.Elapsed.Seconds()
+		if s := r.Elapsed.Seconds(); s > 0 && rec.Events > 0 {
+			rec.EventsPerSec = float64(rec.Events) / s
+		}
+		if err := enc.Encode(rec); err != nil {
+			return err
+		}
+	}
+	workers, shards := opts.Plan(len(results))
+	footer := fleetRecord{
+		Kind:         "fleet",
+		Workload:     name,
+		Runs:         stats.Jobs,
+		Workers:      workers,
+		Shards:       shards,
+		Admissible:   stats.Admissible,
+		Inadmissible: stats.Inadmissible,
+		Truncated:    stats.Truncated,
+		CheckFailed:  stats.CheckFailed,
+		Events:       stats.Events,
+		Msgs:         stats.Msgs,
+		WallSec:      wall.Seconds(),
+	}
+	if stats.MaxRatioFound {
+		footer.MaxRatio = stats.MaxRatio.String()
+		footer.MaxRatioKey = stats.MaxRatioKey
+	}
+	return enc.Encode(footer)
 }
 
 // printList renders the registry catalogue: one block per workload with

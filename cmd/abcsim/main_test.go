@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -130,12 +131,117 @@ func TestRunWatch(t *testing.T) {
 	}
 }
 
+// TestRunJSON pins the NDJSON contract of -json: one "job" record per
+// run carrying the full parameter point (base overlaid with sweep
+// assignments), seed, verdict, stream digest, and throughput, followed
+// by exactly one "fleet" footer with the aggregate counts and the
+// resolved worker/shard split.
+func TestRunJSON(t *testing.T) {
+	var out, errOut strings.Builder
+	args := []string{"-workload", "broadcast", "-n", "3", "-target", "3",
+		"-seed", "1", "-runs", "2", "-sweep", "xi=3/2,2", "-workers", "2", "-json"}
+	if err := run(args, &out, &errOut); err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errOut.String())
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 5 { // 2 xi cells × 2 seeds + footer
+		t.Fatalf("got %d NDJSON lines, want 5:\n%s", len(lines), out.String())
+	}
+	var jobs []jobRecord
+	for _, line := range lines[:4] {
+		var rec jobRecord
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("bad job record %q: %v", line, err)
+		}
+		jobs = append(jobs, rec)
+	}
+	for i, rec := range jobs {
+		if rec.Kind != "job" || rec.Workload != "broadcast" {
+			t.Errorf("record %d: kind=%q workload=%q", i, rec.Kind, rec.Workload)
+		}
+		if rec.Events == 0 || rec.StreamHash == "" {
+			t.Errorf("record %d: no events/digest: %+v", i, rec)
+		}
+		if rec.Params["n"] != "3" {
+			t.Errorf("record %d: params missing base override n=3: %v", i, rec.Params)
+		}
+		if rec.Verdict == "" {
+			t.Errorf("record %d: no verdict", i)
+		}
+	}
+	// Sweep assignments overlay the base point; seeds are innermost.
+	if jobs[0].Params["xi"] != "3/2" || jobs[2].Params["xi"] != "2" {
+		t.Errorf("sweep overlay wrong: xi[0]=%q xi[2]=%q", jobs[0].Params["xi"], jobs[2].Params["xi"])
+	}
+	if jobs[0].Seed != 1 || jobs[1].Seed != 2 || jobs[2].Seed != 1 {
+		t.Errorf("seeds wrong: %d, %d, %d", jobs[0].Seed, jobs[1].Seed, jobs[2].Seed)
+	}
+	var footer fleetRecord
+	if err := json.Unmarshal([]byte(lines[4]), &footer); err != nil {
+		t.Fatalf("bad footer %q: %v", lines[4], err)
+	}
+	if footer.Kind != "fleet" || footer.Runs != 4 || footer.Workers != 2 {
+		t.Errorf("footer wrong: %+v", footer)
+	}
+	if footer.Admissible+footer.Inadmissible != 4 {
+		t.Errorf("footer verdict counts wrong: %+v", footer)
+	}
+	if footer.Events == 0 || footer.WallSec <= 0 {
+		t.Errorf("footer totals missing: %+v", footer)
+	}
+}
+
+// TestRunShardsInvisible pins the CLI half of the shard contract: the
+// same sweep at -shards 1 and -shards 4 emits identical NDJSON job
+// records up to timing fields.
+func TestRunShardsInvisible(t *testing.T) {
+	digests := make([]string, 0, 2)
+	for _, shards := range []string{"1", "4"} {
+		var out, errOut strings.Builder
+		args := []string{"-workload", "broadcast", "-param", "n=8", "-target", "4",
+			"-seed", "1", "-runs", "3", "-shards", shards, "-json"}
+		if err := run(args, &out, &errOut); err != nil {
+			t.Fatalf("-shards %s: %v (stderr: %s)", shards, err, errOut.String())
+		}
+		var hashes []string
+		for _, line := range strings.Split(strings.TrimSpace(out.String()), "\n") {
+			var probe struct {
+				Kind string `json:"kind"`
+			}
+			if err := json.Unmarshal([]byte(line), &probe); err != nil {
+				t.Fatalf("-shards %s: bad record %q: %v", shards, line, err)
+			}
+			if probe.Kind != "job" {
+				continue
+			}
+			var rec jobRecord
+			if err := json.Unmarshal([]byte(line), &rec); err != nil {
+				t.Fatalf("-shards %s: bad job record %q: %v", shards, line, err)
+			}
+			want := 1
+			if shards == "4" {
+				want = 4
+			}
+			if rec.Shards != want {
+				t.Errorf("-shards %s: job ran on %d shards, want %d", shards, rec.Shards, want)
+			}
+			hashes = append(hashes, rec.Key+"="+rec.StreamHash+"/"+rec.Verdict)
+		}
+		digests = append(digests, strings.Join(hashes, " "))
+	}
+	if digests[0] != digests[1] {
+		t.Errorf("stream digests differ between -shards 1 and 4:\n%s\n%s", digests[0], digests[1])
+	}
+}
+
 func TestRunRejectsBadUsage(t *testing.T) {
 	cases := [][]string{
 		{"-workload", "no-such-workload"},
 		{"-runs", "0"},
 		{"-runs", "2", "-trace", "t.json"},
 		{"-sweep", "xi=2,3", "-trace", "t.json"},
+		{"-shards", "-2"},
+		{"-json", "-trace", "t.json"},
 		{"-xi", "not-a-rational"},
 		{"-param", "no-such-param=1"},
 		{"-param", "missing-equals"},

@@ -10,7 +10,9 @@
 // becomes an object with the name (GOMAXPROCS suffix stripped), iteration
 // count, and every reported metric — including custom b.ReportMetric units
 // such as "checks/op" or "events/run". Context lines (goos, goarch, pkg,
-// cpu) are captured into the header.
+// cpu) are captured into the header, alongside host metadata (go version,
+// core count, GOMAXPROCS) of the converting machine — required context
+// for judging parallel-engine numbers recorded in BENCH_*.json.
 package main
 
 import (
@@ -19,6 +21,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 )
@@ -30,8 +33,20 @@ type Benchmark struct {
 	Metrics    map[string]float64 `json:"metrics"`
 }
 
+// Host records the machine and toolchain the benchmarks ran on — the
+// context needed to judge parallel-engine numbers (a shards=8 figure is
+// meaningless without knowing how many cores were actually available).
+type Host struct {
+	GoVersion  string `json:"goVersion"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"numCPU"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+}
+
 // Report is the emitted document.
 type Report struct {
+	Host       Host              `json:"host"`
 	Context    map[string]string `json:"context"`
 	Benchmarks []Benchmark       `json:"benchmarks"`
 }
@@ -44,7 +59,16 @@ func main() {
 }
 
 func run(in io.Reader, out io.Writer) error {
-	report := Report{Context: map[string]string{}}
+	report := Report{
+		Host: Host{
+			GoVersion:  runtime.Version(),
+			GOOS:       runtime.GOOS,
+			GOARCH:     runtime.GOARCH,
+			NumCPU:     runtime.NumCPU(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+		},
+		Context: map[string]string{},
+	}
 	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
 	for sc.Scan() {

@@ -29,6 +29,14 @@ func TestRunParsesBenchOutput(t *testing.T) {
 	if rep.Context["goos"] != "linux" || !strings.Contains(rep.Context["cpu"], "Xeon") {
 		t.Errorf("context = %v", rep.Context)
 	}
+	// Host metadata comes from the converting machine — the same one that
+	// ran the benchmarks in the make bench-json pipeline.
+	if rep.Host.GoVersion == "" || rep.Host.NumCPU < 1 || rep.Host.GOMAXPROCS < 1 {
+		t.Errorf("host metadata missing: %+v", rep.Host)
+	}
+	if rep.Host.GOOS == "" || rep.Host.GOARCH == "" {
+		t.Errorf("host os/arch missing: %+v", rep.Host)
+	}
 	if len(rep.Benchmarks) != 3 {
 		t.Fatalf("parsed %d benchmarks, want 3", len(rep.Benchmarks))
 	}

@@ -29,7 +29,7 @@ func init() {
 			{Name: "adversaries", Kind: workload.Bool, Default: "false", Doc: "run f live Byzantine adversaries (off: the f slots stay silent but count)"},
 			{Name: "advseed", Kind: workload.Int64, Default: "-1", Doc: "adversary seed; -1 derives it from the job seed"},
 			{Name: "maxevents", Kind: workload.Int, Default: "200000", Doc: "receive-event budget"},
-		}, append(workload.FaultParams(), workload.TraceParams()...)...),
+		}, append(workload.FaultParams(), append(workload.TraceParams(), workload.ShardParams()...)...)...),
 		Job:     clockSyncJob,
 		Verdict: clockSyncVerdict,
 		// The Section 3 monitors replay the recorded clock notes and the

@@ -13,7 +13,7 @@ import (
 // cancellation hold the zero value and the context error is returned.
 func Map[T any](ctx context.Context, n, workers int, f func(i int) (T, error)) ([]T, error) {
 	if workers <= 0 {
-		workers = Options{}.workers()
+		workers, _ = Options{}.Plan(n)
 	}
 	if workers > n {
 		workers = n

@@ -9,8 +9,9 @@
 // sim.Config, every worker runs jobs on a private sim.Engine, and no state
 // is shared between jobs, so the trace produced for a job is bit-identical
 // (sim.Trace.Hash-equal) to a serial sim.Run of the same Config regardless
-// of Workers. The golden-trace test in this package pins that contract for
-// workers ∈ {1, 2, 8}.
+// of Workers — and, because the sharded engine is itself byte-identical at
+// every shard count, regardless of Shards. The golden-trace test in this
+// package pins that contract for workers ∈ {1, 2, 8}.
 package runner
 
 import (
@@ -19,6 +20,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/causality"
 	"repro/internal/check"
@@ -92,6 +94,10 @@ type JobResult struct {
 	FirstViolation int
 	// CheckErr is the error returned by Job.Check, if any.
 	CheckErr error
+	// Elapsed is the wall-clock time the job spent on its worker, from
+	// pickup to result — simulation, graph build, checks, and hooks
+	// included. Zero for jobs cancelled before they started.
+	Elapsed time.Duration
 	// Err reports an infrastructure failure: invalid config, checker
 	// error, or context cancellation before the job started.
 	Err error
@@ -120,18 +126,72 @@ func (r JobResult) CompletedAdmissible(requireVerdict bool) bool {
 	return r.Verdict.Admissible
 }
 
+// ShardsAuto asks the fleet to derive the per-job shard count from
+// whatever parallelism the worker pool leaves unused (see Options.Shards).
+const ShardsAuto = -1
+
 // Options configures a fleet run.
 type Options struct {
-	// Workers is the number of concurrent workers; <= 0 means
-	// runtime.GOMAXPROCS(0).
+	// Workers is the number of concurrent workers; <= 0 means derive it
+	// from runtime.GOMAXPROCS(0), leaving room for the shard count when
+	// one is set explicitly.
 	Workers int
+	// Shards is the intra-job shard count stamped into each job's
+	// sim.Config (jobs that set Cfg.Shards themselves are left alone):
+	// 0 leaves configs untouched (serial engines), 1 forces the serial
+	// path, n > 1 runs every simulation on n shards, and ShardsAuto
+	// derives the count from the cores the worker pool leaves idle.
+	//
+	// The two auto-sizers never oversubscribe each other: the derived
+	// workers × shards product stays ≤ runtime.GOMAXPROCS(0). Small
+	// batches on big machines therefore parallelize inside jobs
+	// (few workers × many shards) while large batches parallelize
+	// across them (many workers × 1 shard). Explicitly setting both
+	// knobs bypasses the guard — the caller's product wins.
+	Shards int
 }
 
-func (o Options) workers() int {
-	if o.Workers > 0 {
-		return o.Workers
+// Plan resolves the worker count and per-job shard count for a batch of
+// the given size, applying the workers × shards ≤ GOMAXPROCS rule to
+// every auto-sized knob. Stream uses it internally; callers that report
+// fleet geometry (e.g. JSON footers) can call it to see the same split.
+func (o Options) Plan(jobs int) (workers, shards int) {
+	return o.split(jobs, runtime.GOMAXPROCS(0))
+}
+
+// split is Plan with the processor count injected for tests.
+func (o Options) split(jobs, procs int) (workers, shards int) {
+	if procs < 1 {
+		procs = 1
 	}
-	return runtime.GOMAXPROCS(0)
+	workers = o.Workers
+	if workers <= 0 {
+		workers = procs
+		if o.Shards > 1 {
+			// An explicit shard count reserves cores inside each job;
+			// shrink the auto-sized pool so the product stays ≤ procs.
+			workers = procs / o.Shards
+		}
+		if workers < 1 {
+			workers = 1
+		}
+	}
+	if jobs > 0 && workers > jobs {
+		workers = jobs
+	}
+	switch {
+	case o.Shards == ShardsAuto:
+		// Give each job the cores the pool leaves idle.
+		shards = procs / workers
+		if shards < 1 {
+			shards = 1
+		}
+	case o.Shards > 0:
+		shards = o.Shards
+	default:
+		shards = 1
+	}
+	return workers, shards
 }
 
 // Stats aggregates a completed batch.
@@ -193,10 +253,7 @@ var errJobEmpty = errors.New("runner: job has neither Cfg nor Trace")
 // cancelled, jobs not yet started complete immediately with Err set to the
 // context's error; jobs already in flight finish normally.
 func Stream(ctx context.Context, jobs []Job, opts Options) <-chan JobResult {
-	workers := opts.workers()
-	if workers > len(jobs) && len(jobs) > 0 {
-		workers = len(jobs)
-	}
+	workers, shards := opts.Plan(len(jobs))
 	indices := make(chan int)
 	out := make(chan JobResult, workers)
 
@@ -227,7 +284,10 @@ func Stream(ctx context.Context, jobs []Job, opts Options) <-chan JobResult {
 					out <- JobResult{Index: i, Key: jobs[i].Key, Err: err, FirstViolation: -1}
 					continue
 				}
-				out <- execute(engine, i, jobs[i])
+				start := time.Now()
+				r := execute(engine, i, jobs[i], shards)
+				r.Elapsed = time.Since(start)
+				out <- r
 			}
 		}()
 	}
@@ -254,13 +314,18 @@ func Run(ctx context.Context, jobs []Job, opts Options) ([]JobResult, Stats, err
 	return results, stats, ctx.Err()
 }
 
-// execute runs one job on a worker's private engine.
-func execute(engine *sim.Engine, index int, job Job) JobResult {
+// execute runs one job on a worker's private engine. shards, when > 1,
+// is stamped into the simulation config unless the job chose its own
+// shard count.
+func execute(engine *sim.Engine, index int, job Job, shards int) JobResult {
 	res := JobResult{Index: index, Key: job.Key, Xi: job.Xi, FirstViolation: -1}
 	var watcher *check.Watcher
 	switch {
 	case job.Cfg != nil:
 		cfg := *job.Cfg
+		if shards > 1 && cfg.Shards == 0 {
+			cfg.Shards = shards
+		}
 		if job.Watch {
 			if job.Xi.Sign() <= 0 {
 				res.Err = fmt.Errorf("runner: job %d (%s): Watch requires Xi > 0", index, job.Key)

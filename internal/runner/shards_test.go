@@ -1,0 +1,155 @@
+package runner
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"repro/internal/rat"
+	"repro/internal/sim"
+)
+
+// TestShardSplit pins the worker/shard split so the two auto-sizers can
+// never drift into oversubscribing each other: whenever either knob is
+// auto-sized, the resolved workers × shards product must stay within
+// GOMAXPROCS. Explicitly setting both knobs is the caller's business and
+// bypasses the guard (the W3/S3-on-8 row).
+func TestShardSplit(t *testing.T) {
+	cases := []struct {
+		name                    string
+		procs, w, s, jobs       int
+		wantWorkers, wantShards int
+	}{
+		{"defaults-wide-batch", 8, 0, 0, 100, 8, 1},
+		{"auto-shards-wide-batch", 8, 0, ShardsAuto, 100, 8, 1},
+		{"auto-shards-two-jobs", 8, 0, ShardsAuto, 2, 2, 4},
+		{"auto-shards-three-jobs", 8, 0, ShardsAuto, 3, 3, 2},
+		{"auto-shards-explicit-workers", 8, 2, ShardsAuto, 100, 2, 4},
+		{"explicit-shards-auto-workers", 8, 0, 4, 100, 2, 4},
+		{"both-explicit-oversubscribed", 8, 3, 3, 100, 3, 3},
+		{"explicit-shards-one", 8, 0, 1, 100, 8, 1},
+		{"single-core-defaults", 1, 0, 0, 5, 1, 1},
+		{"single-core-auto-shards", 1, 0, ShardsAuto, 5, 1, 1},
+		{"workers-exceed-procs", 4, 8, ShardsAuto, 100, 8, 1},
+		{"empty-batch", 8, 0, 0, 0, 8, 1},
+		{"shards-exceed-procs", 4, 0, 8, 100, 1, 8},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			o := Options{Workers: tc.w, Shards: tc.s}
+			workers, shards := o.split(tc.jobs, tc.procs)
+			if workers != tc.wantWorkers || shards != tc.wantShards {
+				t.Fatalf("split(jobs=%d, procs=%d) with W=%d S=%d = (%d, %d), want (%d, %d)",
+					tc.jobs, tc.procs, tc.w, tc.s, workers, shards, tc.wantWorkers, tc.wantShards)
+			}
+		})
+	}
+}
+
+// TestShardSplitNeverOversubscribes sweeps the auto-sizing space
+// exhaustively: for every processor count, batch size, and auto
+// combination (Workers unset and/or Shards = ShardsAuto), the product of
+// the resolved split must not exceed the processor count — unless one
+// side was pinned explicitly above it by the caller.
+func TestShardSplitNeverOversubscribes(t *testing.T) {
+	for procs := 1; procs <= 16; procs++ {
+		for jobs := 0; jobs <= 20; jobs++ {
+			for _, w := range []int{0, 1, 2, procs} {
+				o := Options{Workers: w, Shards: ShardsAuto}
+				workers, shards := o.split(jobs, procs)
+				if workers < 1 || shards < 1 {
+					t.Fatalf("procs=%d jobs=%d W=%d: degenerate split (%d, %d)", procs, jobs, w, workers, shards)
+				}
+				if w > 0 && w > procs {
+					continue // caller pinned workers above the machine
+				}
+				if workers*shards > procs {
+					t.Errorf("procs=%d jobs=%d W=%d: %d workers × %d shards oversubscribes", procs, jobs, w, workers, shards)
+				}
+			}
+		}
+	}
+}
+
+// TestFleetShardDeterminism is the fleet-level half of the shard
+// invisibility contract: the golden grid run with per-job sharding
+// (explicit and auto) hashes identically to the serial-engine fleet.
+// Together with TestFleetGoldenTraceDeterminism (fleet == serial sim.Run)
+// this pins sharded fleet == serial sim.Run across the whole grid.
+func TestFleetShardDeterminism(t *testing.T) {
+	jobs := goldenJobs(t)
+	base, stats, err := Run(context.Background(), jobs, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Errored != 0 {
+		t.Fatalf("%d baseline jobs errored", stats.Errored)
+	}
+	for _, opts := range []Options{
+		{Workers: 2, Shards: 2},
+		{Workers: 2, Shards: ShardsAuto},
+	} {
+		name := fmt.Sprintf("workers=%d/shards=%d", opts.Workers, opts.Shards)
+		t.Run(name, func(t *testing.T) {
+			results, stats, err := Run(context.Background(), jobs, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if stats.Errored != 0 {
+				t.Fatalf("%d jobs errored", stats.Errored)
+			}
+			sharded := 0
+			for i, r := range results {
+				if r.Trace.Hash() != base[i].Trace.Hash() {
+					t.Errorf("%s: sharded fleet trace differs from serial fleet", r.Key)
+				}
+				if r.Sim != nil && r.Sim.Shards > 1 {
+					sharded++
+				}
+				if r.Elapsed <= 0 {
+					t.Errorf("%s: Elapsed not recorded", r.Key)
+				}
+			}
+			if opts.Shards > 1 && sharded == 0 {
+				t.Error("no job actually ran on the sharded engine (all fell back)")
+			}
+		})
+	}
+}
+
+// TestFleetJobShardsWin verifies that a job which chooses its own
+// Cfg.Shards is not overridden by the fleet-level knob.
+func TestFleetJobShardsWin(t *testing.T) {
+	spawn := func(sim.ProcessID) sim.Process {
+		return sim.ProcessFunc(func(env *sim.Env, msg sim.Message) {
+			if env.StepIndex() < 4 {
+				env.Broadcast(env.StepIndex())
+			}
+		})
+	}
+	mk := func(shards int) *sim.Config {
+		return &sim.Config{
+			N: 8, Spawn: spawn, Shards: shards,
+			Delays: sim.UniformDelay{Min: rat.One, Max: rat.New(3, 2)},
+			Seed:   5, MaxEvents: 50000,
+		}
+	}
+	jobs := []Job{
+		{Key: "own-serial", Cfg: mk(1)},
+		{Key: "own-two", Cfg: mk(2)},
+		{Key: "fleet-decides", Cfg: mk(0)},
+	}
+	results, _, err := Run(context.Background(), jobs, Options{Workers: 1, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 2, 4}
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("%s: %v", r.Key, r.Err)
+		}
+		if r.Sim.Shards != want[i] {
+			t.Errorf("%s: ran with %d shards, want %d", r.Key, r.Sim.Shards, want[i])
+		}
+	}
+}

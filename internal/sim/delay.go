@@ -126,6 +126,70 @@ type DelayFunc func(m Message, rng *rand.Rand) Time
 // Delay implements DelayPolicy.
 func (f DelayFunc) Delay(m Message, rng *rand.Rand) Time { return f(m, rng) }
 
+// minDelayBound returns a lower bound on the delay any message can be
+// assigned by p, valid for all send times >= 0, and whether such a bound
+// is derivable at all. It is the sharded engine's lookahead: a positive
+// bound means no message sent inside a time window can be received inside
+// that window, which is what makes conservative parallel draining sound.
+// Opaque policies (DelayFunc, unknown types) and policies whose bound
+// would require negative-time analysis report !ok, sending the run down
+// the serial path.
+func minDelayBound(p DelayPolicy) (Time, bool) {
+	switch q := p.(type) {
+	case ConstantDelay:
+		return q.D, q.D.Sign() >= 0
+	case UniformDelay:
+		return minDelayBound(compiledUniform{min: q.Min, span: q.Max.Sub(q.Min)})
+	case compiledUniform:
+		// Draws land in [min, min+span] (span may be negative when
+		// Max < Min; the engine still accepts such policies).
+		lo := q.min
+		if q.span.Sign() < 0 {
+			lo = q.min.Add(q.span)
+		}
+		return lo, lo.Sign() >= 0
+	case GrowingDelay:
+		return minDelayBound(compiledGrowing{base: q.Base, rate: q.Rate})
+	case compiledGrowing:
+		// delay = base·(1+rate·t)·(1+spreadM1·k/Q) with spreadM1 >= 0 after
+		// compilation, so for t >= 0 and base, rate >= 0 the minimum is base.
+		if q.base.Sign() < 0 || q.rate.Sign() < 0 {
+			return Time{}, false
+		}
+		return q.base, true
+	case PerLinkDelay:
+		lo, ok := minDelayBound(q.Default)
+		if !ok {
+			return Time{}, false
+		}
+		for _, lp := range q.Links {
+			b, ok := minDelayBound(lp)
+			if !ok {
+				return Time{}, false
+			}
+			if b.Less(lo) {
+				lo = b
+			}
+		}
+		return lo, true
+	case OverrideDelay:
+		a, ok := minDelayBound(q.Base)
+		if !ok {
+			return Time{}, false
+		}
+		b, ok := minDelayBound(q.Override)
+		if !ok {
+			return Time{}, false
+		}
+		if b.Less(a) {
+			a = b
+		}
+		return a, true
+	default:
+		return Time{}, false
+	}
+}
+
 // compileDelays returns an equivalent policy with per-policy constants
 // (UniformDelay's span, GrowingDelay's clamped spread) computed once
 // instead of per message. Composite policies are compiled recursively.

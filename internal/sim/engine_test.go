@@ -126,6 +126,55 @@ func TestEngineReuseHermetic(t *testing.T) {
 	}
 }
 
+// TestEngineShardModeSwitchHermetic extends the reuse-hermeticity suite
+// across execution modes: running config A serial, then B sharded, then A
+// serial again (and the mirrored parallel→serial→parallel order) on one
+// pooled Engine must reproduce a fresh run of A exactly. The sharded
+// mode's pooled state — shard queues, inboxes, window buffers, the
+// lookahead — must be as invisible between runs as the serial pools are.
+func TestEngineShardModeSwitchHermetic(t *testing.T) {
+	cfgs := engineTestConfigs()
+	for nameA, cfgA := range cfgs {
+		for _, aShards := range []int{1, 4} {
+			a := cfgA
+			a.Shards = aShards
+			fresh, err := Run(a)
+			if err != nil {
+				t.Fatalf("%s: fresh run: %v", nameA, err)
+			}
+			want := fresh.Trace.Hash()
+			for nameB, cfgB := range cfgs {
+				// B runs in the opposite mode of A, forcing a mode switch
+				// both into and out of the sharded engine.
+				b := cfgB
+				if aShards == 1 {
+					b.Shards = 4
+				} else {
+					b.Shards = 1
+				}
+				e := NewEngine()
+				first, err := e.Run(a)
+				if err != nil {
+					t.Fatalf("A=%s(x%d) B=%s: first A: %v", nameA, aShards, nameB, err)
+				}
+				if _, err := e.Run(b); err != nil {
+					t.Fatalf("A=%s(x%d) B=%s: B: %v", nameA, aShards, nameB, err)
+				}
+				second, err := e.Run(a)
+				if err != nil {
+					t.Fatalf("A=%s(x%d) B=%s: second A: %v", nameA, aShards, nameB, err)
+				}
+				if first.Trace.Hash() != want {
+					t.Errorf("A=%s(x%d) B=%s: first engine run of A differs from fresh run", nameA, aShards, nameB)
+				}
+				if second.Trace.Hash() != want {
+					t.Errorf("A=%s(x%d) B=%s: A after mode-switched B differs from fresh run (state leak)", nameA, aShards, nameB)
+				}
+			}
+		}
+	}
+}
+
 // TestEngineResultsDoNotAlias asserts that results of consecutive runs
 // share no mutable state: the first run's trace must be unchanged (same
 // hash) after the engine has executed a different configuration.

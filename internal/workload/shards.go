@@ -1,0 +1,21 @@
+package workload
+
+// ShardParams returns the shared execution-shard parameter declaration.
+// Simulation sources append it to their parameter space (like
+// TraceParams); the sweep decoration then stamps the value into every
+// generated job's sim.Config:
+//
+//	shards=0  — the fleet decides (runner.Options.Shards, default serial)
+//	shards=1  — pin the serial engine, overriding the fleet
+//	shards=N  — run the conservative parallel engine on N shards
+//
+// Sharding is an execution detail, never a model parameter: the sharded
+// engine is byte-identical to the serial one at every shard count, so
+// sweeping this axis must not change a single trace hash or verdict —
+// the conformance suite pins that for every registered source.
+func ShardParams() []Param {
+	return []Param{{
+		Name: "shards", Kind: Int, Default: "0",
+		Doc: "engine shards per simulation: 0 = fleet decides, 1 = serial, N>1 = parallel engine (traces identical regardless)",
+	}}
+}

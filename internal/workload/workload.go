@@ -147,6 +147,17 @@ func (v Values) String(name string) string {
 	return v.lookup(name, String)
 }
 
+// Map returns a copy of the resolved assignment as plain name→value
+// pairs in each parameter's textual syntax — for callers serializing a
+// parameter point (e.g. JSON result records).
+func (v Values) Map() map[string]string {
+	m := make(map[string]string, len(v.vals))
+	for k, val := range v.vals {
+		m[k] = val
+	}
+	return m
+}
+
 // Has reports whether the source declares the named parameter.
 func (v Values) Has(name string) bool {
 	for _, p := range v.params {
@@ -289,6 +300,15 @@ func (s Source) decorate(job runner.Job, v Values, opt JobOptions) (runner.Job, 
 			ret = r
 			cfg := *job.Cfg
 			cfg.Sink = sink
+			job.Cfg = &cfg
+		}
+	}
+	if job.Cfg != nil && v.Has("shards") {
+		// shards=1 is stamped too: it pins the serial engine even when the
+		// fleet-level runner.Options.Shards would otherwise parallelize.
+		if n := v.Int("shards"); n != 0 && job.Cfg.Shards == 0 {
+			cfg := *job.Cfg
+			cfg.Shards = n
 			job.Cfg = &cfg
 		}
 	}
